@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 6: Q0 across hardware revisions and column
+//! offsets (aligned vs. bus-word-straddling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relmem_core::{AccessPath, Benchmark, BenchmarkParams, Query};
+use relmem_rme::HwRevision;
+
+fn bench_fig06(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_offset");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for revision in HwRevision::all() {
+        for offset in [0usize, 13] {
+            let params = BenchmarkParams {
+                rows: 8_000,
+                target_offset: Some(offset),
+                revision,
+                ..BenchmarkParams::default()
+            };
+            let mut bench = Benchmark::new(params);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_cold", revision.label()), offset),
+                &offset,
+                |b, _| b.iter(|| bench.run(Query::Q0, AccessPath::RmeCold)),
+            );
+        }
+    }
+    // The direct baseline the revisions are compared against.
+    let mut bench = Benchmark::new(BenchmarkParams {
+        rows: 8_000,
+        target_offset: Some(0),
+        ..BenchmarkParams::default()
+    });
+    group.bench_function("direct_row_wise", |b| {
+        b.iter(|| bench.run(Query::Q0, AccessPath::DirectRowWise))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig06);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 7: Q1 (k = 3) across column widths and access
+//! paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relmem_core::{AccessPath, Benchmark, BenchmarkParams, Query};
+
+fn bench_fig07(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_q1_width");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let query = Query::Q1 { projectivity: 3 };
+    for width in [1usize, 4, 16] {
+        let params = BenchmarkParams {
+            rows: 8_000,
+            column_width: width,
+            ..BenchmarkParams::default()
+        };
+        let mut bench = Benchmark::new(params);
+        for path in AccessPath::all() {
+            group.bench_with_input(
+                BenchmarkId::new(path.label().replace(' ', "_"), width),
+                &width,
+                |b, _| b.iter(|| bench.run(query, path)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig07);
+criterion_main!(benches);

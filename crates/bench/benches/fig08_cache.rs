@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 8: the cache-counter collection run (Q1 with
+//! counter extraction), the same workload whose counters the harness
+//! tabulates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relmem_core::{AccessPath, Benchmark, BenchmarkParams, Query};
+
+fn bench_fig08(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_cache");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let query = Query::Q1 { projectivity: 3 };
+    let mut bench = Benchmark::new(BenchmarkParams {
+        rows: 8_000,
+        ..BenchmarkParams::default()
+    });
+    for path in AccessPath::all() {
+        group.bench_function(path.label().replace(' ', "_"), |b| {
+            b.iter(|| {
+                let run = bench.run(query, path);
+                (run.measurement.cache.l1.misses, run.measurement.cache.l2.misses)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig08);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 9: Q1 across projectivities (1, 4, 8, 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relmem_core::{AccessPath, Benchmark, BenchmarkParams, Query};
+
+fn bench_fig09(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_projectivity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut bench = Benchmark::new(BenchmarkParams {
+        rows: 8_000,
+        column_width: 4,
+        ..BenchmarkParams::default()
+    });
+    for k in [1usize, 4, 8, 11] {
+        let query = Query::Q1 { projectivity: k };
+        for path in [
+            AccessPath::DirectRowWise,
+            AccessPath::DirectColumnar,
+            AccessPath::RmeCold,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(path.label().replace(' ', "_"), k),
+                &k,
+                |b, _| b.iter(|| bench.run(query, path)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig09);
+criterion_main!(benches);

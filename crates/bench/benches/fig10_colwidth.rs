@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 10: Q2/Q3/Q4 across column widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relmem_core::{AccessPath, Benchmark, BenchmarkParams, Query};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_colwidth");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for width in [1usize, 4, 16] {
+        let mut bench = Benchmark::new(BenchmarkParams {
+            rows: 8_000,
+            column_width: width,
+            ..BenchmarkParams::default()
+        });
+        for query in [Query::Q2, Query::Q3, Query::Q4] {
+            for path in [AccessPath::DirectRowWise, AccessPath::RmeCold] {
+                let id = format!("{}_{}", query.label(), path.label().replace(' ', "_"));
+                group.bench_with_input(BenchmarkId::new(id, width), &width, |b, _| {
+                    b.iter(|| bench.run(query, path))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

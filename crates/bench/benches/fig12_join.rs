@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 12: the hash join (Q5) through the RME vs. the
+//! direct row-store join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relmem_core::{AccessPath, Benchmark, BenchmarkParams, Query};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_join");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for row_bytes in [64usize, 256] {
+        let mut bench = Benchmark::new(BenchmarkParams {
+            rows: 4_000,
+            inner_rows: 4_000,
+            row_bytes,
+            column_width: 4,
+            ..BenchmarkParams::default()
+        });
+        for path in [AccessPath::DirectRowWise, AccessPath::RmeCold] {
+            group.bench_with_input(
+                BenchmarkId::new(path.label().replace(' ', "_"), row_bytes),
+                &row_bytes,
+                |b, _| b.iter(|| bench.run(Query::Q5, path)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 13: Q1 over growing data sizes (multi-frame
+//! operation of the Reorganization Buffer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relmem_core::{AccessPath, Benchmark, BenchmarkParams, Query};
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let query = Query::Q1 { projectivity: 4 };
+    // 4 MB and 16 MB tables keep the bench quick while still spanning
+    // multiple Reorganization Buffer frames.
+    for mb in [4u64, 16] {
+        let rows = mb * 1024 * 1024 / 64;
+        let mut bench = Benchmark::new(BenchmarkParams {
+            rows,
+            row_bytes: 64,
+            column_width: 4,
+            inner_rows: 0,
+            ..BenchmarkParams::default()
+        });
+        group.throughput(Throughput::Bytes(rows * 64));
+        for path in [AccessPath::DirectRowWise, AccessPath::RmeCold] {
+            group.bench_with_input(
+                BenchmarkId::new(path.label().replace(' ', "_"), format!("{mb}MB")),
+                &mb,
+                |b, _| b.iter(|| bench.run(query, path)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Table 2: the FPGA area model itself (it would be
+//! evaluated for every candidate configuration in a design-space sweep, so
+//! its cost matters for the exploration use case).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relmem_rme::resources::{estimate_area, DeviceCapacity};
+use relmem_rme::HwRevision;
+use relmem_sim::RmeHwConfig;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_resources");
+    group.bench_function("estimate_area_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for fetch_units in 1..=8usize {
+                for spm_kb in [256usize, 512, 1024, 2048] {
+                    let cfg = RmeHwConfig {
+                        fetch_units,
+                        data_spm_bytes: spm_kb * 1024,
+                        ..RmeHwConfig::default()
+                    };
+                    for revision in HwRevision::all() {
+                        let report = estimate_area(&cfg, revision, DeviceCapacity::zcu102());
+                        total += report.bram_pct + report.lut_pct;
+                    }
+                }
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Regenerates the paper's figures and tables on the simulated platform.
+//!
+//! ```text
+//! figures [--quick] [--full] [--out DIR] [--csv] [ids...]
+//! ```
+//!
+//! * `ids` — experiment identifiers (`fig6`..`fig13`, `table1`, `table2`);
+//!   omitting them runs everything.
+//! * `--quick` — shrink workloads (smoke test of the harness).
+//! * `--full` — extend Figure 13 to the paper's full 2 GB sweep.
+//! * `--out DIR` — also write one text (and optionally CSV) file per
+//!   experiment into `DIR`.
+//! * `--csv` — write CSV next to the text output.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use relmem_bench::{all_experiments, experiment_by_id};
+
+struct Args {
+    ids: Vec<String>,
+    quick: bool,
+    full: bool,
+    out: Option<PathBuf>,
+    csv: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ids: Vec::new(),
+        quick: false,
+        full: false,
+        out: None,
+        csv: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--full" => args.full = true,
+            "--csv" => args.csv = true,
+            "--out" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory argument");
+                    std::process::exit(2);
+                });
+                args.out = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--quick] [--full] [--out DIR] [--csv] [ids...]\n\
+                     available ids: {}",
+                    all_experiments().join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => args.ids.push(other.to_string()),
+        }
+    }
+    if args.ids.is_empty() {
+        args.ids = all_experiments().iter().map(|s| s.to_string()).collect();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(dir) = &args.out {
+        fs::create_dir_all(dir).expect("can create output directory");
+    }
+    for id in &args.ids {
+        let started = Instant::now();
+        let Some(experiment) = experiment_by_id(id, args.quick, args.full) else {
+            eprintln!(
+                "unknown experiment {id:?}; available: {}",
+                all_experiments().join(", ")
+            );
+            std::process::exit(2);
+        };
+        let text = experiment.render_text();
+        println!("{text}");
+        println!(
+            "[{} completed in {:.1}s]\n",
+            experiment.id,
+            started.elapsed().as_secs_f64()
+        );
+        if let Some(dir) = &args.out {
+            fs::write(dir.join(format!("{}.txt", experiment.id)), &text)
+                .expect("can write experiment output");
+            if args.csv {
+                fs::write(
+                    dir.join(format!("{}.csv", experiment.id)),
+                    experiment.render_csv(),
+                )
+                .expect("can write experiment CSV");
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 6: impact of the hardware revisions and of the projected column's
+//! offset.
+//!
+//! Q0 (`SELECT SUM(A1)`) over a table of 64-byte rows with a single 4-byte
+//! target column whose offset within the row is swept. Seven configurations
+//! are compared: the three hardware revisions (BSL / PCK / MLP), each cold
+//! and hot, plus direct row-wise access. The paper's observations to
+//! reproduce: cold BSL is an order of magnitude slower than direct access,
+//! MLP cold is *faster* than direct access, all hot variants coincide, and
+//! cold latency spikes at the offsets where the 4-byte field straddles a
+//! 16-byte bus word (13–15, 29–31, 45–47).
+
+use relmem_core::{AccessPath, Benchmark, BenchmarkParams, Query};
+use relmem_rme::HwRevision;
+use relmem_sim::report::{series_table, Series};
+
+use super::{default_rows, Experiment};
+
+/// Offsets swept: every 4-byte-aligned position plus the bus-word-straddling
+/// positions responsible for the spikes.
+fn offsets() -> Vec<usize> {
+    let mut offs: Vec<usize> = (0..=60).step_by(4).collect();
+    for straddle in [13, 14, 15, 29, 30, 31, 45, 46, 47] {
+        offs.push(straddle);
+    }
+    offs.sort_unstable();
+    offs
+}
+
+/// Runs the Figure 6 experiment.
+pub fn fig06(quick: bool) -> Experiment {
+    let rows = default_rows(quick).min(16_000);
+    let offsets = if quick {
+        vec![0, 8, 13, 16, 29, 32, 45, 48, 60]
+    } else {
+        offsets()
+    };
+    let cpu_mhz = relmem_sim::PlatformConfig::zcu102().cpu.freq_mhz;
+
+    let mut series: Vec<Series> = vec![
+        Series::new("BSL, Cold"),
+        Series::new("BSL, Hot"),
+        Series::new("PCK, Cold"),
+        Series::new("PCK, Hot"),
+        Series::new("MLP, Cold"),
+        Series::new("MLP, Hot"),
+        Series::new("Direct Row-wise"),
+    ];
+
+    for &offset in &offsets {
+        let mut direct_cycles = 0.0;
+        for (idx, revision) in HwRevision::all().into_iter().enumerate() {
+            let params = BenchmarkParams {
+                rows,
+                target_offset: Some(offset),
+                revision,
+                ..BenchmarkParams::default()
+            };
+            let mut bench = Benchmark::new(params);
+            let cold = bench.run(Query::Q0, AccessPath::RmeCold);
+            let hot = bench.run(Query::Q0, AccessPath::RmeHot);
+            series[idx * 2].push(offset, cold.measurement.elapsed_cycles(cpu_mhz));
+            series[idx * 2 + 1].push(offset, hot.measurement.elapsed_cycles(cpu_mhz));
+            if revision == HwRevision::Mlp {
+                let direct = bench.run(Query::Q0, AccessPath::DirectRowWise);
+                direct_cycles = direct.measurement.elapsed_cycles(cpu_mhz);
+            }
+        }
+        series[6].push(offset, direct_cycles);
+    }
+
+    let table = series_table(
+        "Figure 6: Q0 execution time (CPU cycles) vs. offset of the projected column",
+        "Offset (B)",
+        &series,
+    );
+    Experiment {
+        id: "fig6",
+        description: "Hardware revisions BSL/PCK/MLP (cold & hot) vs. direct row-wise access; \
+                      execution time of Q0 as the projected column's offset varies"
+            .to_string(),
+        tables: vec![table],
+    }
+}

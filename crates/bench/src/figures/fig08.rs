@@ -1,0 +1,64 @@
+//! Figure 8: L1 and L2 cache requests and misses during Q1.
+//!
+//! The paper's observations: the RME paths issue far fewer L1/L2 misses
+//! because only useful bytes reach the caches; direct row-wise access has
+//! the most misses (every row drags a full line through the hierarchy); the
+//! L1 prefetcher inflates the L2 request counts.
+
+use relmem_core::{AccessPath, Benchmark, BenchmarkParams, Query};
+use relmem_sim::report::Table;
+
+use super::{default_rows, Experiment};
+use crate::figures::fig07::WIDTHS;
+
+/// Runs the Figure 8 experiment: one table per counter, rows = column
+/// widths, columns = access paths.
+pub fn fig08(quick: bool) -> Experiment {
+    let rows = default_rows(quick);
+    let query = Query::Q1 { projectivity: 3 };
+    let paths = [
+        AccessPath::DirectRowWise,
+        AccessPath::DirectColumnar,
+        AccessPath::RmeCold,
+        AccessPath::RmeHot,
+    ];
+
+    let counters = ["L1 Requests", "L1 Misses", "L2 Requests", "L2 Misses"];
+    let mut tables: Vec<Table> = counters
+        .iter()
+        .map(|c| {
+            let mut headers = vec!["Column width (B)"];
+            headers.extend(paths.iter().map(|p| p.label()));
+            Table::new(format!("Figure 8: {c} during Q1 (k=3)"), &headers)
+        })
+        .collect();
+
+    for width in WIDTHS {
+        let params = BenchmarkParams {
+            rows,
+            column_width: width,
+            ..BenchmarkParams::default()
+        };
+        let mut bench = Benchmark::new(params);
+        let mut cells: Vec<Vec<String>> = vec![vec![width.to_string()]; 4];
+        for path in paths {
+            let run = bench.run(query, path);
+            let c = &run.measurement.cache;
+            cells[0].push(c.l1.requests.to_string());
+            cells[1].push(c.l1.misses.to_string());
+            cells[2].push(c.l2.requests.to_string());
+            cells[3].push(c.l2.misses.to_string());
+        }
+        for (t, row) in tables.iter_mut().zip(cells) {
+            t.push_row(row);
+        }
+    }
+
+    Experiment {
+        id: "fig8",
+        description: "Cache requests and misses during Q1: the RME propagates only useful bytes \
+                      through the hierarchy"
+            .to_string(),
+        tables,
+    }
+}

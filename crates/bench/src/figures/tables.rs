@@ -1,0 +1,114 @@
+//! Tables 1 and 2 of the paper.
+
+use relmem_rme::config_port::regs;
+use relmem_rme::resources::{estimate_area, DeviceCapacity};
+use relmem_rme::HwRevision;
+use relmem_sim::report::Table;
+use relmem_sim::RmeHwConfig;
+
+use super::Experiment;
+
+/// Table 1: the RME configuration-port register map. Reproduced directly
+/// from the implemented register file so any drift between documentation and
+/// code shows up here.
+pub fn table1() -> Experiment {
+    let mut table = Table::new(
+        "Table 1: RME configuration port — addresses and description",
+        &["Parameter", "Symbol", "Address", "Description"],
+    );
+    let rows: Vec<[String; 4]> = vec![
+        [
+            "Row size".into(),
+            "R".into(),
+            format!("base+{:#04x}", regs::ROW_SIZE),
+            "database tuple width".into(),
+        ],
+        [
+            "Row count".into(),
+            "N".into(),
+            format!("base+{:#04x}", regs::ROW_COUNT),
+            "database tuple count".into(),
+        ],
+        [
+            "Software reset".into(),
+            "SW".into(),
+            format!("base+{:#04x}", regs::SW_RESET),
+            "software triggered reset request".into(),
+        ],
+        [
+            "Enabled columns count".into(),
+            "Q".into(),
+            format!("base+{:#04x}", regs::ENABLED_COLUMNS),
+            "amount of columns of interest".into(),
+        ],
+        [
+            "Column width".into(),
+            "CA_j".into(),
+            format!("base+{:#04x}+(j*0x2)", regs::COLUMN_WIDTH_BASE),
+            format!("j-th column width (j in [0,{}))", regs::MAX_COLUMNS),
+        ],
+        [
+            "Column offset".into(),
+            "OA_j".into(),
+            format!("base+{:#04x}+(j*0x2)", regs::COLUMN_OFFSET_BASE),
+            format!("j-th column offset (j in [0,{}))", regs::MAX_COLUMNS),
+        ],
+        [
+            "Frame number".into(),
+            "F".into(),
+            format!("base+{:#04x}", regs::FRAME_NUMBER),
+            "filtered table frame number".into(),
+        ],
+    ];
+    for row in rows {
+        table.push_row(row.to_vec());
+    }
+    Experiment {
+        id: "table1",
+        description: "RME configuration port register map (from the implemented register file)"
+            .to_string(),
+        tables: vec![table],
+    }
+}
+
+/// Table 2: post-implementation area report of the MLP design on the
+/// ZCU102, reproduced through the analytical resource model.
+pub fn table2() -> Experiment {
+    let report = estimate_area(
+        &RmeHwConfig::default(),
+        HwRevision::Mlp,
+        DeviceCapacity::zcu102(),
+    );
+    let mut table = Table::new(
+        "Table 2: estimated post-implementation area for the MLP design on the ZCU102",
+        &["Resources", "LUT", "FF", "BRAM", "DSP"],
+    );
+    table.push_row(vec![
+        "Utilization (%)".to_string(),
+        format!("{:.2}", report.lut_pct),
+        format!("{:.2}", report.ff_pct),
+        format!("{:.2}", report.bram_pct),
+        format!("{:.2}", report.dsp_pct),
+    ]);
+    table.push_row(vec![
+        "Absolute".to_string(),
+        report.usage.luts.to_string(),
+        report.usage.ffs.to_string(),
+        report.usage.bram36.to_string(),
+        report.usage.dsps.to_string(),
+    ]);
+    table.push_row(vec![
+        "Paper reports (%)".to_string(),
+        "2.78".to_string(),
+        "0.68".to_string(),
+        "60.69".to_string(),
+        "0.08".to_string(),
+    ]);
+    Experiment {
+        id: "table2",
+        description: "FPGA resource utilisation of the MLP design (analytical model vs. the \
+                      paper's Vivado report)"
+            .to_string(),
+        tables: vec![table],
+    }
+}

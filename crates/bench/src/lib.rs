@@ -1,0 +1,18 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Section 6).
+//!
+//! Each `figNN` function runs the corresponding experiment on the simulated
+//! platform and returns an [`Experiment`]: one or more tables whose rows are
+//! the series the paper plots. The `figures` binary renders them to text and
+//! CSV; `EXPERIMENTS.md` records the measured output next to the paper's
+//! reported shape.
+//!
+//! Absolute numbers are simulated nanoseconds, not wall-clock on a ZCU102 —
+//! only orderings, ratios and crossover points are meaningful.
+
+pub mod figures;
+
+pub use figures::{
+    all_experiments, experiment_by_id, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13,
+    table1, table2, Experiment,
+};

@@ -1,0 +1,227 @@
+//! A tag-only set-associative cache with true-LRU replacement.
+//!
+//! The model tracks which line addresses are resident; data always comes
+//! from the functional layer (`relmem_dram::PhysicalMemory` or the RME's
+//! reorganization buffer), so the cache only needs tags. This keeps the
+//! model fast enough to sweep gigabyte tables while still producing the
+//! request/miss counts of Figure 8.
+
+use relmem_sim::CacheLevelConfig;
+
+use crate::stats::CacheLevelStats;
+
+/// A set-associative, true-LRU, tag-only cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheLevelConfig,
+    sets: usize,
+    /// `ways[set]` holds resident line addresses ordered from MRU (front) to
+    /// LRU (back).
+    ways: Vec<Vec<u64>>,
+    stats: CacheLevelStats,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero sets or ways).
+    pub fn new(cfg: CacheLevelConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets >= 1, "cache must have at least one set");
+        assert!(cfg.associativity >= 1, "cache must have at least one way");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Cache {
+            sets,
+            ways: vec![Vec::with_capacity(cfg.associativity); sets],
+            cfg,
+            stats: CacheLevelStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheLevelConfig {
+        &self.cfg
+    }
+
+    /// Line-aligns an address.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes as u64 - 1)
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        ((line_addr / self.cfg.line_bytes as u64) % self.sets as u64) as usize
+    }
+
+    /// Looks up the line containing `addr`, updating LRU order and counters.
+    /// Returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.requests += 1;
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        let ways = &mut self.ways[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            let hit_line = ways.remove(pos);
+            ways.insert(0, hit_line);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Checks residency without updating LRU order or counters.
+    pub fn peek(&self, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        self.ways[set].contains(&line)
+    }
+
+    /// Inserts the line containing `addr` as MRU, returning the evicted line
+    /// address if the set was full. Filling an already-resident line only
+    /// refreshes its LRU position.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        let assoc = self.cfg.associativity;
+        let ways = &mut self.ways[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            let l = ways.remove(pos);
+            ways.insert(0, l);
+            return None;
+        }
+        let evicted = if ways.len() == assoc { ways.pop() } else { None };
+        ways.insert(0, line);
+        evicted
+    }
+
+    /// Removes a specific line if resident.
+    pub fn invalidate(&mut self, addr: u64) {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        self.ways[set].retain(|&l| l != line);
+    }
+
+    /// Empties the cache (keeps statistics).
+    pub fn flush(&mut self) {
+        for set in &mut self.ways {
+            set.clear();
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.ways.iter().map(|w| w.len()).sum()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &CacheLevelStats {
+        &self.stats
+    }
+
+    /// Resets counters to zero (keeps contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheLevelStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_cache(assoc: usize, sets: usize) -> Cache {
+        Cache::new(CacheLevelConfig {
+            size_bytes: assoc * sets * 64,
+            associativity: assoc,
+            line_bytes: 64,
+            hit_latency_cycles: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit_after_fill() {
+        let mut c = small_cache(2, 4);
+        assert!(!c.access(100));
+        c.fill(100);
+        assert!(c.access(100));
+        assert!(c.access(127)); // same line
+        assert!(!c.access(128)); // next line
+        assert_eq!(c.stats().requests, 4);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small_cache(2, 1);
+        c.fill(0); // line 0
+        c.fill(64); // line 1 — set is now full
+        assert!(c.access(0)); // touch line 0 so line 1 becomes LRU
+        let evicted = c.fill(128); // line 2 must evict line 1
+        assert_eq!(evicted, Some(64));
+        assert!(c.peek(0));
+        assert!(!c.peek(64));
+        assert!(c.peek(128));
+    }
+
+    #[test]
+    fn fill_of_resident_line_does_not_evict() {
+        let mut c = small_cache(2, 1);
+        c.fill(0);
+        c.fill(64);
+        assert_eq!(c.fill(0), None);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = small_cache(4, 2);
+        c.fill(0);
+        c.fill(64);
+        c.invalidate(0);
+        assert!(!c.peek(0));
+        assert!(c.peek(64));
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn addresses_map_to_distinct_sets() {
+        let c = small_cache(1, 8);
+        // Lines 0..8 should map to 8 distinct sets.
+        let sets: std::collections::HashSet<usize> =
+            (0..8u64).map(|i| c.set_index(i * 64)).collect();
+        assert_eq!(sets.len(), 8);
+    }
+
+    proptest! {
+        #[test]
+        fn residency_never_exceeds_capacity(addrs in proptest::collection::vec(0u64..100_000, 1..500)) {
+            let mut c = small_cache(4, 8);
+            for a in addrs {
+                if !c.access(a) {
+                    c.fill(a);
+                }
+                prop_assert!(c.resident_lines() <= 4 * 8);
+            }
+        }
+
+        #[test]
+        fn peek_agrees_with_access_hit(addrs in proptest::collection::vec(0u64..10_000, 1..200)) {
+            let mut c = small_cache(2, 4);
+            for a in addrs {
+                let resident = c.peek(a);
+                let hit = c.access(a);
+                prop_assert_eq!(resident, hit);
+                if !hit {
+                    c.fill(a);
+                }
+            }
+        }
+    }
+}

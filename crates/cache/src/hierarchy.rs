@@ -1,0 +1,427 @@
+//! The L1 + L2 cache hierarchy over a pluggable memory backend.
+//!
+//! Every CPU memory reference in the query engine funnels through
+//! [`CacheHierarchy::access`]. The hierarchy:
+//!
+//! * looks the line up in L1, then L2,
+//! * on an L2 miss asks the [`MemoryBackend`] (DRAM controller for normal
+//!   addresses, the RME for ephemeral addresses) to fill the line,
+//! * trains the stream prefetcher on L1 misses and issues its prefetches to
+//!   the same backend, so prefetched lines arrive early and demand misses on
+//!   them only pay the residual latency,
+//! * accumulates the per-level request/miss counters reported in Figure 8.
+
+use std::collections::HashMap;
+
+use relmem_sim::{PlatformConfig, SimTime};
+
+use crate::cache::Cache;
+use crate::prefetch::StreamPrefetcher;
+use crate::stats::HierarchyStats;
+
+/// Where a memory access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Served by the shared L2.
+    L2,
+    /// Served by the memory backend (DRAM or RME).
+    Memory,
+}
+
+/// Timing outcome of one CPU memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Time at which the data is available to the core.
+    pub completion: SimTime,
+    /// Deepest level that had to be consulted.
+    pub level: HitLevel,
+}
+
+/// A source of cache-line fills behind the L2.
+pub trait MemoryBackend {
+    /// Requests the 64-byte line containing `line_addr` (already
+    /// line-aligned), issued at `ready`. Returns the time the line arrives
+    /// at the L2.
+    fn fill_line(&mut self, line_addr: u64, ready: SimTime) -> SimTime;
+
+    /// Whether the backend is willing to serve a *prefetch* of this line
+    /// right now. Demand fills are always served; the Relational Memory
+    /// Engine declines prefetches that run past the frame currently
+    /// resident in its Reorganization Buffer, so the prefetcher cannot
+    /// force a premature frame turnover.
+    fn prefetchable(&self, _line_addr: u64) -> bool {
+        true
+    }
+}
+
+/// Blanket implementation so `&mut T` can be passed where a backend is
+/// expected.
+impl<T: MemoryBackend + ?Sized> MemoryBackend for &mut T {
+    fn fill_line(&mut self, line_addr: u64, ready: SimTime) -> SimTime {
+        (**self).fill_line(line_addr, ready)
+    }
+
+    fn prefetchable(&self, line_addr: u64) -> bool {
+        (**self).prefetchable(line_addr)
+    }
+}
+
+/// The modelled two-level cache hierarchy of one core.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    l2: Cache,
+    prefetcher: StreamPrefetcher,
+    /// Lines whose fill is still in flight (typically prefetches), mapped to
+    /// their arrival time at L2.
+    pending: HashMap<u64, SimTime>,
+    /// Completion times of fills currently in flight. The length of this
+    /// list is capped at the core's miss-status-holding-register count,
+    /// which is what limits how much DRAM bandwidth a single in-order core
+    /// can extract — a first-order effect in the paper's comparison against
+    /// the RME's sixteen outstanding PL-side transactions.
+    inflight: Vec<SimTime>,
+    max_outstanding: usize,
+    l1_hit: SimTime,
+    l2_hit: SimTime,
+    line_bytes: u64,
+    stats: HierarchyStats,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy described by `cfg`.
+    pub fn new(cfg: &PlatformConfig) -> Self {
+        let cpu = cfg.cpu_clock();
+        CacheHierarchy {
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            prefetcher: StreamPrefetcher::new(
+                cfg.line_bytes(),
+                cfg.prefetch_streams,
+                cfg.prefetch_degree,
+            ),
+            pending: HashMap::new(),
+            inflight: Vec::new(),
+            max_outstanding: cfg.cpu.max_outstanding_misses.max(1),
+            l1_hit: cpu.cycles(cfg.l1.hit_latency_cycles),
+            l2_hit: cpu.cycles(cfg.l2.hit_latency_cycles),
+            line_bytes: cfg.line_bytes() as u64,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Resets statistics (keeps cache contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+    }
+
+    /// Flushes both cache levels, forgets prefetch streams and in-flight
+    /// fills. Used to make "cold" measurements.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.prefetcher.reset();
+        self.pending.clear();
+        self.inflight.clear();
+    }
+
+    /// Books a miss-status slot for a fill issued at `ready`: if every slot
+    /// is occupied, the issue is delayed until the earliest in-flight fill
+    /// returns. Records the fill's own completion and returns the possibly
+    /// delayed issue time.
+    fn book_miss_slot(&mut self, ready: SimTime, now: SimTime) -> SimTime {
+        self.inflight.retain(|&t| t > now);
+        if self.inflight.len() < self.max_outstanding {
+            return ready;
+        }
+        let (idx, &earliest) = self
+            .inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("inflight is non-empty");
+        self.inflight.swap_remove(idx);
+        ready.max(earliest)
+    }
+
+    fn record_inflight(&mut self, completion: SimTime) {
+        self.inflight.push(completion);
+    }
+
+    /// Performs a CPU read of `bytes` bytes at `addr`, issued at `now`, and
+    /// returns when the data is available. Accesses that straddle a line
+    /// boundary touch both lines.
+    pub fn access<B: MemoryBackend>(
+        &mut self,
+        addr: u64,
+        bytes: usize,
+        now: SimTime,
+        backend: &mut B,
+    ) -> AccessOutcome {
+        let first_line = addr & !(self.line_bytes - 1);
+        let last_line = (addr + bytes.max(1) as u64 - 1) & !(self.line_bytes - 1);
+        let mut completion = now;
+        let mut level = HitLevel::L1;
+        let mut line = first_line;
+        loop {
+            let outcome = self.access_line(line, now, backend);
+            completion = completion.max(outcome.completion);
+            level = level.max(outcome.level);
+            if line == last_line {
+                break;
+            }
+            line += self.line_bytes;
+        }
+        AccessOutcome { completion, level }
+    }
+
+    /// Performs a CPU write; with a write-allocate, write-back cache the
+    /// timing model is identical to a read.
+    pub fn write<B: MemoryBackend>(
+        &mut self,
+        addr: u64,
+        bytes: usize,
+        now: SimTime,
+        backend: &mut B,
+    ) -> AccessOutcome {
+        self.access(addr, bytes, now, backend)
+    }
+
+    fn access_line<B: MemoryBackend>(
+        &mut self,
+        line: u64,
+        now: SimTime,
+        backend: &mut B,
+    ) -> AccessOutcome {
+        self.stats.l1.requests += 1;
+        if self.l1.access(line) {
+            self.stats.l1.hits += 1;
+            return AccessOutcome {
+                completion: now + self.l1_hit,
+                level: HitLevel::L1,
+            };
+        }
+        self.stats.l1.misses += 1;
+
+        // Train the prefetcher on the L1 miss stream and issue its requests.
+        let decision = self.prefetcher.train(line);
+        for pline in decision.prefetch_lines {
+            self.issue_prefetch(pline, now, backend);
+        }
+        if self.pending.len() > 4096 {
+            self.pending.retain(|_, arrival| *arrival > now);
+        }
+
+        // L2 lookup.
+        self.stats.l2.requests += 1;
+        let l2_lookup_done = now + self.l1_hit + self.l2_hit;
+        if self.l2.access(line) {
+            self.stats.l2.hits += 1;
+            // The line may still be in flight if it was prefetched recently.
+            let arrival = self.pending.remove(&line).unwrap_or(SimTime::ZERO);
+            if !arrival.is_zero() {
+                self.stats.prefetch_hits += 1;
+            }
+            self.l1.fill(line);
+            return AccessOutcome {
+                completion: l2_lookup_done.max(arrival),
+                level: HitLevel::L2,
+            };
+        }
+        self.stats.l2.misses += 1;
+
+        // Demand fill from the backend, subject to the outstanding-miss cap.
+        self.stats.backend_fills += 1;
+        let issue = self.book_miss_slot(now + self.l1_hit + self.l2_hit, now);
+        let arrival = backend.fill_line(line, issue);
+        self.record_inflight(arrival);
+        self.l2.fill(line);
+        self.l1.fill(line);
+        AccessOutcome {
+            completion: arrival.max(l2_lookup_done),
+            level: HitLevel::Memory,
+        }
+    }
+
+    fn issue_prefetch<B: MemoryBackend>(&mut self, line: u64, now: SimTime, backend: &mut B) {
+        if !backend.prefetchable(line) {
+            return;
+        }
+        // Prefetches that would hit in L2 are dropped (they count as L2
+        // lookups, which is what inflates the L2 request counts in Fig. 8).
+        self.stats.l2.requests += 1;
+        if self.l2.access(line) {
+            self.stats.l2.hits += 1;
+            return;
+        }
+        self.stats.l2.misses += 1;
+        self.stats.prefetches_issued += 1;
+        self.stats.backend_fills += 1;
+        let issue = self.book_miss_slot(now, now);
+        let arrival = backend.fill_line(line, issue);
+        self.record_inflight(arrival);
+        self.l2.fill(line);
+        self.pending.insert(line, arrival);
+    }
+}
+
+/// A trivially simple backend with a fixed fill latency, used by unit tests
+/// in this crate and by the CPU cost-model calibration tests in
+/// `relmem-core`.
+#[derive(Debug, Clone)]
+pub struct FixedLatencyBackend {
+    /// Latency charged per fill.
+    pub latency: SimTime,
+    /// Number of fills served.
+    pub fills: u64,
+}
+
+impl FixedLatencyBackend {
+    /// Creates a backend with the given fill latency.
+    pub fn new(latency: SimTime) -> Self {
+        FixedLatencyBackend { latency, fills: 0 }
+    }
+}
+
+impl MemoryBackend for FixedLatencyBackend {
+    fn fill_line(&mut self, _line_addr: u64, ready: SimTime) -> SimTime {
+        self.fills += 1;
+        ready + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PlatformConfig {
+        PlatformConfig::tiny_for_tests()
+    }
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn l1_hit_after_fill_is_cheap() {
+        let mut h = CacheHierarchy::new(&cfg());
+        let mut mem = FixedLatencyBackend::new(ns(100));
+        let first = h.access(0, 8, SimTime::ZERO, &mut mem);
+        assert_eq!(first.level, HitLevel::Memory);
+        assert!(first.completion >= ns(100));
+        let second = h.access(8, 8, first.completion, &mut mem);
+        assert_eq!(second.level, HitLevel::L1);
+        assert!(second.completion.saturating_sub(first.completion) < ns(5));
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut h = CacheHierarchy::new(&cfg());
+        let mut mem = FixedLatencyBackend::new(ns(100));
+        let out = h.access(60, 8, SimTime::ZERO, &mut mem);
+        assert_eq!(out.level, HitLevel::Memory);
+        // Both lines (0 and 64) are filled; the prefetcher may fill more.
+        assert!(mem.fills >= 2);
+        assert_eq!(h.stats().l1.requests, 2);
+        // Both halves now hit in L1.
+        assert_eq!(h.access(60, 8, out.completion, &mut mem).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn l2_serves_lines_evicted_from_l1() {
+        let cfg = cfg(); // 1 KB L1 (16 lines), 8 KB L2 (128 lines)
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut mem = FixedLatencyBackend::new(ns(100));
+        let mut now = SimTime::ZERO;
+        // Touch 64 distinct lines: far more than L1 holds, fits in L2.
+        // Use a 3-line stride so the accesses are neither sequential (which
+        // would engage the prefetcher) nor aliased to a single L2 set.
+        for i in 0..64u64 {
+            now = h.access(i * 192, 4, now, &mut mem).completion;
+        }
+        let fills_after_first_pass = mem.fills;
+        assert_eq!(fills_after_first_pass, 64);
+        // Second pass: L1 cannot hold them all, so we must see L2 hits and
+        // no new backend fills.
+        let mut saw_l2 = false;
+        for i in 0..64u64 {
+            let out = h.access(i * 192, 4, now, &mut mem);
+            now = out.completion;
+            if out.level == HitLevel::L2 {
+                saw_l2 = true;
+            }
+            assert_ne!(out.level, HitLevel::Memory, "line {i} should be cached");
+        }
+        assert!(saw_l2);
+        assert_eq!(mem.fills, fills_after_first_pass);
+    }
+
+    #[test]
+    fn sequential_scan_benefits_from_prefetching() {
+        let cfg = PlatformConfig::zcu102();
+        let lines = 512u64;
+
+        // With prefetching.
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut mem = FixedLatencyBackend::new(ns(100));
+        let mut now = SimTime::ZERO;
+        for i in 0..lines {
+            now = h.access(i * 64, 8, now, &mut mem).completion;
+        }
+        let with_pf = now;
+        assert!(h.stats().prefetches_issued > 0);
+        assert!(h.stats().prefetch_hits > 0);
+
+        // Without prefetching.
+        let mut cfg_no = cfg.clone();
+        cfg_no.prefetch_streams = 0;
+        let mut h2 = CacheHierarchy::new(&cfg_no);
+        let mut mem2 = FixedLatencyBackend::new(ns(100));
+        let mut now2 = SimTime::ZERO;
+        for i in 0..lines {
+            now2 = h2.access(i * 64, 8, now2, &mut mem2).completion;
+        }
+        let without_pf = now2;
+        assert!(
+            with_pf.as_nanos_f64() < 0.6 * without_pf.as_nanos_f64(),
+            "prefetching should hide most of the fixed fill latency: {with_pf} vs {without_pf}"
+        );
+    }
+
+    #[test]
+    fn flush_makes_accesses_cold_again() {
+        let mut h = CacheHierarchy::new(&cfg());
+        let mut mem = FixedLatencyBackend::new(ns(50));
+        h.access(0, 8, SimTime::ZERO, &mut mem);
+        assert_eq!(h.access(0, 8, ns(1_000), &mut mem).level, HitLevel::L1);
+        h.flush();
+        assert_eq!(h.access(0, 8, ns(2_000), &mut mem).level, HitLevel::Memory);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut h = CacheHierarchy::new(&cfg());
+        let mut mem = FixedLatencyBackend::new(ns(50));
+        for i in 0..16u64 {
+            h.access(i * 64, 4, SimTime::ZERO, &mut mem);
+        }
+        let s = h.stats();
+        assert_eq!(s.l1.requests, 16);
+        assert!(s.l1.misses > 0);
+        assert!(s.backend_fills > 0);
+        h.reset_stats();
+        assert_eq!(h.stats().l1.requests, 0);
+    }
+}

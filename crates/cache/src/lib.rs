@@ -1,0 +1,27 @@
+//! Set-associative cache hierarchy model (L1D + shared L2) with a stream
+//! prefetcher and a pluggable memory backend.
+//!
+//! The paper's performance story is largely a cache story: direct row-wise
+//! accesses pollute the caches with unwanted fields, direct columnar
+//! accesses create one sequential stream per projected column (of which the
+//! A53's prefetcher can track only four), and the RME feeds the caches a
+//! dense buffer that contains nothing but useful bytes. This crate models
+//! exactly those effects:
+//!
+//! * [`Cache`] — a tag-only set-associative cache with LRU replacement and
+//!   request/hit/miss counters (Figure 8 is read straight off these).
+//! * [`StreamPrefetcher`] — detects sequential line streams and issues
+//!   prefetches for a configurable number of concurrent streams.
+//! * [`CacheHierarchy`] — ties L1, L2 and the prefetcher together over a
+//!   [`MemoryBackend`], which is either the DRAM controller (normal route)
+//!   or the Relational Memory Engine (ephemeral route).
+
+pub mod cache;
+pub mod hierarchy;
+pub mod prefetch;
+pub mod stats;
+
+pub use cache::Cache;
+pub use hierarchy::{AccessOutcome, CacheHierarchy, HitLevel, MemoryBackend};
+pub use prefetch::StreamPrefetcher;
+pub use stats::{CacheLevelStats, HierarchyStats};

@@ -1,0 +1,57 @@
+//! The four access paths the evaluation compares.
+
+/// How a query reaches its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPath {
+    /// Read the needed fields directly from the row-major base table.
+    DirectRowWise,
+    /// Read them from a materialised column-store copy of the table.
+    DirectColumnar,
+    /// Read them through an ephemeral variable; the Reorganization Buffer
+    /// starts empty, so the engine fetches and packs on demand.
+    RmeCold,
+    /// Read them through an ephemeral variable whose first frame has already
+    /// been packed into the Reorganization Buffer.
+    RmeHot,
+}
+
+impl AccessPath {
+    /// Label used in figures (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessPath::DirectRowWise => "Direct Row-wise",
+            AccessPath::DirectColumnar => "Direct Columnar",
+            AccessPath::RmeCold => "RME Cold",
+            AccessPath::RmeHot => "RME Hot",
+        }
+    }
+
+    /// Whether the path goes through the Relational Memory Engine.
+    pub fn uses_rme(&self) -> bool {
+        matches!(self, AccessPath::RmeCold | AccessPath::RmeHot)
+    }
+
+    /// All paths, in the order the paper's figures list them.
+    pub fn all() -> [AccessPath; 4] {
+        [
+            AccessPath::DirectRowWise,
+            AccessPath::DirectColumnar,
+            AccessPath::RmeCold,
+            AccessPath::RmeHot,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_predicates() {
+        assert_eq!(AccessPath::DirectRowWise.label(), "Direct Row-wise");
+        assert_eq!(AccessPath::RmeHot.label(), "RME Hot");
+        assert!(AccessPath::RmeCold.uses_rme());
+        assert!(!AccessPath::DirectColumnar.uses_rme());
+        assert_eq!(AccessPath::all().len(), 4);
+    }
+}

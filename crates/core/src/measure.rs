@@ -1,0 +1,105 @@
+//! Query measurements: simulated time plus hardware counters.
+
+use relmem_cache::HierarchyStats;
+use relmem_dram::DramStats;
+use relmem_rme::RmeStats;
+use relmem_sim::SimTime;
+
+/// The functional result of a query (used for cross-path validation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// A single aggregate value (Q0, Q3).
+    Scalar(u64),
+    /// A checksum plus a row count, for queries that produce row sets
+    /// (Q1, Q2, Q5) or many groups (Q4). The checksum is order-insensitive
+    /// (wrapping sum of a per-row/group hash) so all paths can be compared.
+    Set {
+        /// Number of produced rows / groups.
+        rows: u64,
+        /// Order-insensitive checksum of the produced values.
+        checksum: u64,
+    },
+}
+
+impl QueryOutput {
+    /// The number of rows (1 for scalars).
+    pub fn cardinality(&self) -> u64 {
+        match self {
+            QueryOutput::Scalar(_) => 1,
+            QueryOutput::Set { rows, .. } => *rows,
+        }
+    }
+}
+
+/// The timing/counters side of one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMeasurement {
+    /// End-to-end simulated execution time.
+    pub elapsed: SimTime,
+    /// CPU time charged by the cost model (the rest is data movement).
+    pub cpu_time: SimTime,
+    /// Cache hierarchy counters (Figure 8).
+    pub cache: HierarchyStats,
+    /// DRAM controller counters.
+    pub dram: DramStats,
+    /// RME counters (zeroed for the direct paths).
+    pub rme: RmeStats,
+}
+
+impl QueryMeasurement {
+    /// Time attributable to data movement (everything the CPU spent waiting
+    /// on memory): `elapsed − cpu_time`.
+    pub fn data_time(&self) -> SimTime {
+        self.elapsed.saturating_sub(self.cpu_time)
+    }
+
+    /// Elapsed time in microseconds (convenience for reports).
+    pub fn elapsed_us(&self) -> f64 {
+        self.elapsed.as_micros_f64()
+    }
+
+    /// Elapsed time expressed in CPU clock cycles of the given frequency
+    /// (the unit of the paper's Figure 6).
+    pub fn elapsed_cycles(&self, cpu_mhz: f64) -> f64 {
+        self.elapsed.as_nanos_f64() * cpu_mhz / 1_000.0
+    }
+}
+
+/// A query result: functional output + measurement.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// The functional result.
+    pub output: QueryOutput,
+    /// The measurement.
+    pub measurement: QueryMeasurement,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_time_is_elapsed_minus_cpu() {
+        let m = QueryMeasurement {
+            elapsed: SimTime::from_micros(10),
+            cpu_time: SimTime::from_micros(4),
+            ..Default::default()
+        };
+        assert_eq!(m.data_time(), SimTime::from_micros(6));
+        assert!((m.elapsed_us() - 10.0).abs() < 1e-9);
+        assert!((m.elapsed_cycles(1_200.0) - 12_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn output_cardinality() {
+        assert_eq!(QueryOutput::Scalar(5).cardinality(), 1);
+        assert_eq!(
+            QueryOutput::Set {
+                rows: 42,
+                checksum: 7
+            }
+            .cardinality(),
+            42
+        );
+    }
+}

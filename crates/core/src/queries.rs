@@ -1,0 +1,138 @@
+//! The Relational Memory Benchmark queries (Listing 5 of the paper).
+//!
+//! ```text
+//! Q0: SELECT SUM(A1) FROM S;
+//! Q1: SELECT A1, A2, ..., Ak FROM S;
+//! Q2: SELECT A1 FROM S WHERE A3 > k;
+//! Q3: SELECT SUM(A2) FROM S WHERE A4 < k;
+//! Q4: SELECT AVG(A1) FROM S WHERE A3 < k GROUP BY A2;
+//! Q5: SELECT S.A1, R.A3 FROM S JOIN R ON S.A2 = R.A2;
+//! ```
+//!
+//! This module defines the query descriptors, their column requirements and
+//! the predicate thresholds that produce the selectivities the paper quotes
+//! (~90 % for Q2, <10 % for Q3/Q4). The execution logic lives in
+//! [`crate::benchmark::Benchmark`].
+
+use relmem_storage::datagen::VALUE_RANGE;
+
+/// Selection threshold giving Q2 its ~90 % selectivity (`A3 > T` keeps the
+/// rows whose uniformly distributed value exceeds 10 % of the range).
+pub const Q2_THRESHOLD: u64 = VALUE_RANGE / 10;
+
+/// Selection threshold giving Q3/Q4 their <10 % selectivity (`A4 < T`).
+pub const Q3_THRESHOLD: u64 = VALUE_RANGE / 10;
+
+/// One benchmark query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// `SELECT SUM(A1) FROM S`.
+    Q0,
+    /// `SELECT A1..Ak FROM S` with the given projectivity `k`.
+    Q1 {
+        /// Number of projected columns.
+        projectivity: usize,
+    },
+    /// `SELECT A1 FROM S WHERE A3 > k` (~90 % selectivity).
+    Q2,
+    /// `SELECT SUM(A2) FROM S WHERE A4 < k` (<10 % selectivity).
+    Q3,
+    /// `SELECT AVG(A1) FROM S WHERE A3 < k GROUP BY A2`.
+    Q4,
+    /// `SELECT S.A1, R.A3 FROM S JOIN R ON S.A2 = R.A2`.
+    Q5,
+}
+
+impl Query {
+    /// Short label ("Q0".."Q5").
+    pub fn label(&self) -> String {
+        match self {
+            Query::Q0 => "Q0".to_string(),
+            Query::Q1 { projectivity } => format!("Q1(k={projectivity})"),
+            Query::Q2 => "Q2".to_string(),
+            Query::Q3 => "Q3".to_string(),
+            Query::Q4 => "Q4".to_string(),
+            Query::Q5 => "Q5".to_string(),
+        }
+    }
+
+    /// Minimum number of data columns the benchmark relation needs for this
+    /// query.
+    pub fn min_columns(&self) -> usize {
+        match self {
+            Query::Q0 => 1,
+            Query::Q1 { projectivity } => (*projectivity).max(1),
+            Query::Q2 | Query::Q4 => 3,
+            Query::Q3 | Query::Q5 => 4,
+        }
+    }
+
+    /// The six queries of Listing 5 with Q1 at a representative
+    /// projectivity of 3.
+    pub fn all() -> Vec<Query> {
+        vec![
+            Query::Q0,
+            Query::Q1 { projectivity: 3 },
+            Query::Q2,
+            Query::Q3,
+            Query::Q4,
+            Query::Q5,
+        ]
+    }
+}
+
+/// Picks `k` column indices spread (roughly) evenly over `available`
+/// columns, so projected columns are non-contiguous whenever possible —
+/// matching the paper's Q1 setup where the three target columns sit at
+/// offsets 0, 24 and 48 of a 64-byte row.
+pub fn spread_columns(k: usize, available: usize) -> Vec<usize> {
+    assert!(k >= 1, "projectivity must be at least 1");
+    assert!(
+        k <= available,
+        "cannot project {k} columns out of {available}"
+    );
+    (0..k).map(|i| i * available / k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_target_selectivities() {
+        // Values are uniform in [0, VALUE_RANGE): `> T` keeps 1 - T/RANGE.
+        assert_eq!(Q2_THRESHOLD, 100);
+        assert_eq!(Q3_THRESHOLD, 100);
+        let q2_selectivity = 1.0 - Q2_THRESHOLD as f64 / VALUE_RANGE as f64;
+        assert!((q2_selectivity - 0.9).abs() < 1e-9);
+        let q3_selectivity = Q3_THRESHOLD as f64 / VALUE_RANGE as f64;
+        assert!(q3_selectivity < 0.11);
+    }
+
+    #[test]
+    fn labels_and_column_requirements() {
+        assert_eq!(Query::Q0.label(), "Q0");
+        assert_eq!(Query::Q1 { projectivity: 7 }.label(), "Q1(k=7)");
+        assert_eq!(Query::Q5.min_columns(), 4);
+        assert_eq!(Query::Q1 { projectivity: 9 }.min_columns(), 9);
+        assert_eq!(Query::all().len(), 6);
+    }
+
+    #[test]
+    fn spread_columns_are_distinct_ascending_and_spread() {
+        let cols = spread_columns(3, 16);
+        assert_eq!(cols, vec![0, 5, 10]);
+        let cols = spread_columns(11, 16);
+        assert_eq!(cols.len(), 11);
+        assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        assert!(*cols.last().unwrap() < 16);
+        let all = spread_columns(4, 4);
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot project")]
+    fn spread_rejects_over_projection() {
+        let _ = spread_columns(5, 4);
+    }
+}

@@ -1,0 +1,586 @@
+//! The simulated platform, wired together.
+//!
+//! [`System`] owns the physical memory, the DRAM controller, one core's
+//! cache hierarchy and the Relational Memory Engine, and exposes the
+//! operations the query layer needs: creating tables, materialising the
+//! columnar baseline, registering ephemeral variables (= programming the
+//! RME), and running measured scans over any [`ScanSource`].
+//!
+//! All timing flows through the cache hierarchy: a scan performs one cache
+//! access per touched field, misses are filled either by the DRAM
+//! controller (normal addresses) or by the RME (ephemeral addresses), and
+//! CPU work between accesses is charged from the [`CpuCostModel`].
+
+use relmem_cache::{CacheHierarchy, MemoryBackend};
+use relmem_dram::{DramController, MemRequest, PhysicalMemory};
+use relmem_rme::{HwRevision, RmeEngine, TableGeometry};
+use relmem_sim::{PlatformConfig, SimTime};
+use relmem_storage::{
+    ColumnGroup, ColumnarTable, MvccConfig, RowTable, Schema, Snapshot, StorageError,
+};
+
+use crate::access_path::AccessPath;
+use crate::cost::CpuCostModel;
+use crate::ephemeral::EphemeralVariable;
+use crate::measure::QueryMeasurement;
+
+/// Base of the (never materialised) ephemeral address region. It is far
+/// above any physical allocation so aliases can never collide with real
+/// data.
+const EPHEMERAL_REGION_BASE: u64 = 1 << 40;
+
+/// What a measured scan iterates over.
+pub enum ScanSource<'a> {
+    /// The row-major base table; only the named columns are touched.
+    Rows {
+        /// The table.
+        table: &'a RowTable,
+        /// Column indices to read, in ascending order.
+        columns: &'a [usize],
+        /// Snapshot for MVCC visibility filtering (requires an MVCC table).
+        snapshot: Option<Snapshot>,
+    },
+    /// The materialised column-store copy.
+    Columnar {
+        /// The columnar table.
+        table: &'a ColumnarTable,
+        /// Column indices to read.
+        columns: &'a [usize],
+    },
+    /// An ephemeral variable served by the RME.
+    Ephemeral {
+        /// The registered variable.
+        var: &'a EphemeralVariable,
+    },
+}
+
+impl ScanSource<'_> {
+    /// Number of values produced per row.
+    pub fn num_columns(&self) -> usize {
+        match self {
+            ScanSource::Rows { columns, .. } | ScanSource::Columnar { columns, .. } => {
+                columns.len()
+            }
+            ScanSource::Ephemeral { var } => var.num_columns(),
+        }
+    }
+}
+
+/// Additional work a row's processing performs, reported by the per-row
+/// closure of [`System::scan`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowEffect {
+    /// Extra CPU time (predicates, aggregation, hashing...).
+    pub cpu: SimTime,
+    /// An extra memory touch (address, bytes) — e.g. a hash-table bucket.
+    /// Always served by the normal DRAM path.
+    pub touch: Option<(u64, usize)>,
+}
+
+/// The simulated platform.
+pub struct System {
+    cfg: PlatformConfig,
+    cost: CpuCostModel,
+    mem: PhysicalMemory,
+    dram: DramController,
+    cache: CacheHierarchy,
+    engine: RmeEngine,
+    ephemeral_cursor: u64,
+}
+
+impl System {
+    /// Builds a platform with `mem_bytes` of physical memory and an RME of
+    /// the given hardware revision.
+    pub fn new(cfg: PlatformConfig, revision: HwRevision, mem_bytes: usize) -> Self {
+        let engine = RmeEngine::new(
+            cfg.rme,
+            cfg.cdc,
+            revision,
+            cfg.dram.bus_bytes,
+            cfg.line_bytes(),
+        );
+        System {
+            mem: PhysicalMemory::new(mem_bytes),
+            dram: DramController::new(cfg.dram),
+            cache: CacheHierarchy::new(&cfg),
+            engine,
+            cost: CpuCostModel::default(),
+            cfg,
+            ephemeral_cursor: EPHEMERAL_REGION_BASE,
+        }
+    }
+
+    /// Convenience constructor: default ZCU102 platform.
+    pub fn with_revision(revision: HwRevision, mem_bytes: usize) -> Self {
+        System::new(PlatformConfig::zcu102(), revision, mem_bytes)
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.cfg
+    }
+
+    /// The CPU cost model in use.
+    pub fn cost_model(&self) -> &CpuCostModel {
+        &self.cost
+    }
+
+    /// Replaces the CPU cost model (for ablations).
+    pub fn set_cost_model(&mut self, cost: CpuCostModel) {
+        self.cost = cost;
+    }
+
+    /// Physical memory (read access).
+    pub fn mem(&self) -> &PhysicalMemory {
+        &self.mem
+    }
+
+    /// Physical memory (write access, e.g. for data generation).
+    pub fn mem_mut(&mut self) -> &mut PhysicalMemory {
+        &mut self.mem
+    }
+
+    /// The Relational Memory Engine.
+    pub fn engine(&self) -> &RmeEngine {
+        &self.engine
+    }
+
+    /// Creates a row table in this system's memory.
+    pub fn create_table(
+        &mut self,
+        schema: Schema,
+        capacity_rows: u64,
+        mvcc: MvccConfig,
+    ) -> Result<RowTable, StorageError> {
+        RowTable::create(&mut self.mem, schema, capacity_rows, mvcc)
+    }
+
+    /// Materialises the column-store baseline copy of a table.
+    pub fn materialize_columnar(
+        &mut self,
+        table: &RowTable,
+    ) -> Result<ColumnarTable, StorageError> {
+        ColumnarTable::materialize(&mut self.mem, table)
+    }
+
+    /// Allocates a scratch region (e.g. for a hash table) in physical
+    /// memory and returns its base address.
+    pub fn alloc_scratch(&mut self, bytes: u64) -> u64 {
+        self.mem.alloc(bytes as usize, 64)
+    }
+
+    /// Registers an ephemeral variable over `table` for the given column
+    /// group: programs the RME configuration port and returns the handle.
+    /// The engine holds a single configuration, so registering a new
+    /// variable supersedes the previous one (as reconfiguring the port does
+    /// in the prototype).
+    pub fn register_ephemeral(
+        &mut self,
+        table: &RowTable,
+        group: ColumnGroup,
+        snapshot: Option<Snapshot>,
+    ) -> Result<EphemeralVariable, StorageError> {
+        group.validate(
+            table.schema(),
+            self.cfg.rme.max_columns,
+            self.cfg.rme.max_column_width,
+        )?;
+        let visible = EphemeralVariable::visible_rows(table, &self.mem, snapshot)?;
+        let visible_count = visible
+            .as_ref()
+            .map(|v| v.len() as u64)
+            .unwrap_or(table.num_rows());
+        let packed_row = group.packed_row_bytes(table.schema())? as u64;
+        let base = self.ephemeral_cursor;
+        let span = (packed_row * visible_count).max(1).div_ceil(4096) * 4096 + 4096;
+        self.ephemeral_cursor += span;
+
+        let geometry = TableGeometry::from_schema(
+            table.schema(),
+            &group,
+            table.base_addr(),
+            base,
+            table.num_rows(),
+            table.mvcc(),
+            snapshot,
+        )?;
+        self.engine.configure(geometry, visible)?;
+        EphemeralVariable::describe(table.schema(), group, base, visible_count, snapshot)
+    }
+
+    /// Prepares a measured run: flushes the caches, resets DRAM and RME
+    /// timing state and clears counters. For [`AccessPath::RmeHot`] the
+    /// first frame of the currently registered ephemeral variable is
+    /// pre-packed into the Reorganization Buffer.
+    pub fn begin_measurement(&mut self, path: AccessPath) {
+        self.cache.flush();
+        self.cache.reset_stats();
+        self.dram.reset();
+        match path {
+            AccessPath::RmeHot => {
+                self.engine.software_reset();
+                self.engine.prewarm_frame(0, &self.mem);
+                self.engine.reset_timing();
+            }
+            AccessPath::RmeCold => {
+                self.engine.software_reset();
+            }
+            _ => {
+                self.engine.reset_timing();
+            }
+        }
+    }
+
+    /// Collects the counters accumulated since the last
+    /// [`begin_measurement`](Self::begin_measurement) into a measurement.
+    pub fn finish_measurement(
+        &self,
+        elapsed: SimTime,
+        cpu_time: SimTime,
+        path: AccessPath,
+    ) -> QueryMeasurement {
+        QueryMeasurement {
+            elapsed,
+            cpu_time,
+            cache: *self.cache.stats(),
+            dram: self.dram.stats().clone(),
+            rme: if path.uses_rme() {
+                self.engine.stats()
+            } else {
+                relmem_rme::RmeStats::default()
+            },
+        }
+    }
+
+    /// Runs a measured scan over `source`, invoking `per_row` for every
+    /// (visible) row with the projected values, and returns
+    /// `(end_time, cpu_time, rows_scanned)`.
+    ///
+    /// The closure receives the values of the requested columns (numeric
+    /// view) and returns the extra work the row caused.
+    pub fn scan<F>(
+        &mut self,
+        source: &ScanSource<'_>,
+        start: SimTime,
+        mut per_row: F,
+    ) -> (SimTime, SimTime, u64)
+    where
+        F: FnMut(u64, &[u64]) -> RowEffect,
+    {
+        let mut now = start;
+        let mut cpu_total = SimTime::ZERO;
+        let mut values: Vec<u64> = vec![0; source.num_columns()];
+        let mut rows_scanned = 0u64;
+
+        match source {
+            ScanSource::Rows {
+                table,
+                columns,
+                snapshot,
+            } => {
+                let rows = table.num_rows();
+                for row in 0..rows {
+                    // MVCC: read the version header and check visibility.
+                    if let Some(snap) = snapshot {
+                        if table.mvcc().is_enabled() {
+                            let header_addr = table.row_addr(row);
+                            let out = self.cache.access(
+                                header_addr,
+                                16,
+                                now,
+                                &mut DramBackend {
+                                    dram: &mut self.dram,
+                                    line_bytes: self.cfg.l1.line_bytes,
+                                },
+                            );
+                            now = out.completion + self.cost.visibility();
+                            cpu_total += self.cost.visibility();
+                            if !table.visible(&self.mem, row, *snap).unwrap_or(false) {
+                                continue;
+                            }
+                        }
+                    }
+                    for (slot, &col) in columns.iter().enumerate() {
+                        let addr = table.field_addr(row, col).expect("valid column");
+                        let width = table.schema().width(col).expect("valid column");
+                        let out = self.cache.access(
+                            addr,
+                            width,
+                            now,
+                            &mut DramBackend {
+                                dram: &mut self.dram,
+                                line_bytes: self.cfg.l1.line_bytes,
+                            },
+                        );
+                        now = out.completion;
+                        values[slot] = self.mem.read_uint(addr, width.min(8));
+                    }
+                    let cpu = self.cost.row_loop() + self.cost.fields(columns.len());
+                    let (n2, c2) = self.finish_row(row, &values, cpu, now, &mut per_row);
+                    now = n2;
+                    cpu_total += c2;
+                    rows_scanned += 1;
+                }
+            }
+            ScanSource::Columnar { table, columns } => {
+                let rows = table.num_rows();
+                for row in 0..rows {
+                    for (slot, &col) in columns.iter().enumerate() {
+                        let addr = table.field_addr(row, col).expect("valid column");
+                        let width = table.schema().width(col).expect("valid column");
+                        let out = self.cache.access(
+                            addr,
+                            width,
+                            now,
+                            &mut DramBackend {
+                                dram: &mut self.dram,
+                                line_bytes: self.cfg.l1.line_bytes,
+                            },
+                        );
+                        now = out.completion;
+                        values[slot] = self.mem.read_uint(addr, width.min(8));
+                    }
+                    let cpu = self.cost.row_loop()
+                        + self.cost.fields(columns.len())
+                        + self.cost.tuple_reconstruction(columns.len());
+                    let (n2, c2) = self.finish_row(row, &values, cpu, now, &mut per_row);
+                    now = n2;
+                    cpu_total += c2;
+                    rows_scanned += 1;
+                }
+            }
+            ScanSource::Ephemeral { var } => {
+                let rows = var.rows();
+                for row in 0..rows {
+                    for j in 0..var.num_columns() {
+                        let addr = var.field_addr(row, j);
+                        let width = var.width(j);
+                        let out = self.cache.access(
+                            addr,
+                            width,
+                            now,
+                            &mut RmeBackend {
+                                engine: &mut self.engine,
+                                dram: &mut self.dram,
+                                mem: &self.mem,
+                            },
+                        );
+                        now = out.completion;
+                        values[j] = self.engine.read_packed_u64(addr, width, &self.mem);
+                    }
+                    let cpu = self.cost.row_loop() + self.cost.fields(var.num_columns());
+                    let (n2, c2) = self.finish_row(row, &values, cpu, now, &mut per_row);
+                    now = n2;
+                    cpu_total += c2;
+                    rows_scanned += 1;
+                }
+            }
+        }
+        (now, cpu_total, rows_scanned)
+    }
+
+    /// Charges the per-row CPU work, runs the closure and applies its
+    /// effect. Returns the advanced `(now, cpu_spent_this_row)`.
+    fn finish_row<F>(
+        &mut self,
+        row: u64,
+        values: &[u64],
+        base_cpu: SimTime,
+        now: SimTime,
+        per_row: &mut F,
+    ) -> (SimTime, SimTime)
+    where
+        F: FnMut(u64, &[u64]) -> RowEffect,
+    {
+        let effect = per_row(row, values);
+        let cpu = base_cpu + effect.cpu;
+        let mut now = now + cpu;
+        if let Some((addr, bytes)) = effect.touch {
+            let out = self.cache.access(
+                addr,
+                bytes,
+                now,
+                &mut DramBackend {
+                    dram: &mut self.dram,
+                    line_bytes: self.cfg.l1.line_bytes,
+                },
+            );
+            now = out.completion;
+        }
+        (now, cpu)
+    }
+}
+
+/// Normal-route backend: L2 misses go straight to the DRAM controller.
+struct DramBackend<'a> {
+    dram: &'a mut DramController,
+    line_bytes: usize,
+}
+
+impl MemoryBackend for DramBackend<'_> {
+    fn fill_line(&mut self, line_addr: u64, ready: SimTime) -> SimTime {
+        self.dram
+            .access(MemRequest::new(line_addr, self.line_bytes, ready))
+            .finish
+    }
+}
+
+/// Ephemeral-route backend: L2 misses are served by the RME.
+struct RmeBackend<'a> {
+    engine: &'a mut RmeEngine,
+    dram: &'a mut DramController,
+    mem: &'a PhysicalMemory,
+}
+
+impl MemoryBackend for RmeBackend<'_> {
+    fn fill_line(&mut self, line_addr: u64, ready: SimTime) -> SimTime {
+        self.engine.serve_line(line_addr, ready, self.mem, self.dram)
+    }
+
+    fn prefetchable(&self, line_addr: u64) -> bool {
+        self.engine.line_is_prefetchable(line_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmem_storage::DataGen;
+
+    fn build_system(rows: u64) -> (System, RowTable) {
+        let mut sys = System::with_revision(HwRevision::Mlp, 64 << 20);
+        let schema = Schema::benchmark(8, 4, 64);
+        let mut table = sys.create_table(schema, rows, MvccConfig::Disabled).unwrap();
+        DataGen::new(1).fill_table(sys.mem_mut(), &mut table, rows).unwrap();
+        (sys, table)
+    }
+
+    fn sum_column(
+        sys: &mut System,
+        source: &ScanSource<'_>,
+        path: AccessPath,
+    ) -> (u64, SimTime) {
+        sys.begin_measurement(path);
+        let mut sum = 0u64;
+        let (end, _cpu, _) = sys.scan(source, SimTime::ZERO, |_, values| {
+            sum = sum.wrapping_add(values[0]);
+            RowEffect {
+                cpu: sys_cost_aggregate(),
+                touch: None,
+            }
+        });
+        (sum, end)
+    }
+
+    fn sys_cost_aggregate() -> SimTime {
+        CpuCostModel::default().aggregate()
+    }
+
+    #[test]
+    fn all_paths_compute_the_same_sum() {
+        let (mut sys, table) = build_system(2_000);
+        let columns = [0usize];
+
+        let rows_src = ScanSource::Rows {
+            table: &table,
+            columns: &columns,
+            snapshot: None,
+        };
+        let (sum_rows, t_rows) = sum_column(&mut sys, &rows_src, AccessPath::DirectRowWise);
+
+        let columnar = sys.materialize_columnar(&table).unwrap();
+        let col_src = ScanSource::Columnar {
+            table: &columnar,
+            columns: &columns,
+        };
+        let (sum_cols, _) = sum_column(&mut sys, &col_src, AccessPath::DirectColumnar);
+
+        let var = sys
+            .register_ephemeral(&table, ColumnGroup::new(vec![0]).unwrap(), None)
+            .unwrap();
+        let eph_src = ScanSource::Ephemeral { var: &var };
+        let (sum_cold, t_cold) = sum_column(&mut sys, &eph_src, AccessPath::RmeCold);
+        let (sum_hot, t_hot) = sum_column(&mut sys, &eph_src, AccessPath::RmeHot);
+
+        assert_eq!(sum_rows, sum_cols);
+        assert_eq!(sum_rows, sum_cold);
+        assert_eq!(sum_rows, sum_hot);
+        assert!(t_hot <= t_cold, "hot ({t_hot}) should not exceed cold ({t_cold})");
+        assert!(t_rows > SimTime::ZERO && t_cold > SimTime::ZERO);
+    }
+
+    #[test]
+    fn rme_cold_beats_direct_row_wise_for_a_narrow_projection() {
+        // The headline claim of the paper: accessing one 4-byte column of a
+        // 64-byte-row table through the (MLP) RME is faster than scanning
+        // the rows directly, even when the Reorganization Buffer is cold.
+        let (mut sys, table) = build_system(20_000);
+        let columns = [0usize];
+        let rows_src = ScanSource::Rows {
+            table: &table,
+            columns: &columns,
+            snapshot: None,
+        };
+        let (_, t_rows) = sum_column(&mut sys, &rows_src, AccessPath::DirectRowWise);
+
+        let var = sys
+            .register_ephemeral(&table, ColumnGroup::new(vec![0]).unwrap(), None)
+            .unwrap();
+        let eph_src = ScanSource::Ephemeral { var: &var };
+        let (_, t_cold) = sum_column(&mut sys, &eph_src, AccessPath::RmeCold);
+
+        assert!(
+            t_cold < t_rows,
+            "RME cold ({t_cold}) should beat direct row-wise ({t_rows})"
+        );
+    }
+
+    #[test]
+    fn mvcc_scan_skips_invisible_rows() {
+        let mut sys = System::with_revision(HwRevision::Mlp, 16 << 20);
+        let schema = Schema::benchmark(4, 8, 64);
+        let mut table = sys.create_table(schema, 100, MvccConfig::Enabled).unwrap();
+        DataGen::new(2).fill_table(sys.mem_mut(), &mut table, 100).unwrap();
+        for row in 0..50 {
+            table.mark_deleted(sys.mem_mut(), row, 5).unwrap();
+        }
+        let columns = [0usize];
+        let src = ScanSource::Rows {
+            table: &table,
+            columns: &columns,
+            snapshot: Some(Snapshot::at(10)),
+        };
+        sys.begin_measurement(AccessPath::DirectRowWise);
+        let (_, _, rows) = sys.scan(&src, SimTime::ZERO, |_, _| RowEffect::default());
+        assert_eq!(rows, 50);
+
+        // And through the RME, with the same snapshot.
+        let var = sys
+            .register_ephemeral(&table, ColumnGroup::new(vec![0]).unwrap(), Some(Snapshot::at(10)))
+            .unwrap();
+        assert_eq!(var.rows(), 50);
+        let eph = ScanSource::Ephemeral { var: &var };
+        sys.begin_measurement(AccessPath::RmeCold);
+        let (_, _, rme_rows) = sys.scan(&eph, SimTime::ZERO, |_, _| RowEffect::default());
+        assert_eq!(rme_rows, 50);
+    }
+
+    #[test]
+    fn measurements_capture_counters() {
+        let (mut sys, table) = build_system(500);
+        let columns = [0usize, 3];
+        let src = ScanSource::Rows {
+            table: &table,
+            columns: &columns,
+            snapshot: None,
+        };
+        sys.begin_measurement(AccessPath::DirectRowWise);
+        let (end, cpu, _) = sys.scan(&src, SimTime::ZERO, |_, _| RowEffect::default());
+        let m = sys.finish_measurement(end, cpu, AccessPath::DirectRowWise);
+        assert!(m.cache.l1.requests >= 1_000);
+        assert!(m.dram.accesses > 0);
+        assert!(m.cpu_time > SimTime::ZERO);
+        assert!(m.data_time() > SimTime::ZERO);
+        assert_eq!(m.rme, relmem_rme::RmeStats::default());
+    }
+}

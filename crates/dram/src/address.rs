@@ -1,0 +1,135 @@
+//! Physical address → DRAM coordinate mapping.
+//!
+//! The controller needs to know which bank and which DRAM row a request
+//! touches in order to model open-row hits and bank-level parallelism. We
+//! use the common "row : bank : column" interleaving where consecutive DRAM
+//! rows of the same bank are `banks × row_bytes` apart, which spreads
+//! sequential streams across banks — the behaviour the RME's Requestor
+//! exploits when it issues outstanding fetches.
+
+/// Maps physical addresses to (bank, row, column) coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    banks: usize,
+    row_bytes: usize,
+}
+
+/// A decoded DRAM coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCoord {
+    /// Bank index in `[0, banks)`.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Byte offset within the row.
+    pub column: usize,
+}
+
+impl AddressMapping {
+    /// Creates a mapping for `banks` banks of `row_bytes`-byte rows.
+    pub fn new(banks: usize, row_bytes: usize) -> Self {
+        assert!(banks >= 1 && row_bytes >= 1);
+        AddressMapping { banks, row_bytes }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// DRAM row size in bytes.
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// Decodes an address.
+    pub fn decode(&self, addr: u64) -> DramCoord {
+        let row_global = addr / self.row_bytes as u64;
+        let column = (addr % self.row_bytes as u64) as usize;
+        let bank = (row_global % self.banks as u64) as usize;
+        let row = row_global / self.banks as u64;
+        DramCoord { bank, row, column }
+    }
+
+    /// Re-encodes a coordinate back into an address (inverse of
+    /// [`decode`](Self::decode)).
+    pub fn encode(&self, coord: DramCoord) -> u64 {
+        let row_global = coord.row * self.banks as u64 + coord.bank as u64;
+        row_global * self.row_bytes as u64 + coord.column as u64
+    }
+
+    /// Splits a byte range `[addr, addr+len)` into per-DRAM-row chunks, so a
+    /// long burst that crosses a row boundary is charged as two accesses.
+    pub fn split_by_row(&self, addr: u64, len: usize) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        let mut cur = addr;
+        let end = addr + len as u64;
+        while cur < end {
+            let row_end = (cur / self.row_bytes as u64 + 1) * self.row_bytes as u64;
+            let chunk_end = row_end.min(end);
+            out.push((cur, (chunk_end - cur) as usize));
+            cur = chunk_end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decode_spreads_consecutive_rows_across_banks() {
+        let m = AddressMapping::new(4, 1024);
+        let a = m.decode(0);
+        let b = m.decode(1024);
+        let c = m.decode(2048);
+        assert_eq!(a.bank, 0);
+        assert_eq!(b.bank, 1);
+        assert_eq!(c.bank, 2);
+        assert_eq!(a.row, 0);
+        assert_eq!(m.decode(4 * 1024).bank, 0);
+        assert_eq!(m.decode(4 * 1024).row, 1);
+    }
+
+    #[test]
+    fn column_is_offset_within_row() {
+        let m = AddressMapping::new(8, 2048);
+        let c = m.decode(2048 * 3 + 100);
+        assert_eq!(c.column, 100);
+    }
+
+    #[test]
+    fn split_by_row_respects_boundaries() {
+        let m = AddressMapping::new(2, 128);
+        let chunks = m.split_by_row(120, 20);
+        assert_eq!(chunks, vec![(120, 8), (128, 12)]);
+        let single = m.split_by_row(0, 64);
+        assert_eq!(single, vec![(0, 64)]);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(addr in 0u64..1_000_000_000u64, banks in 1usize..32, row_pow in 7u32..14) {
+            let m = AddressMapping::new(banks, 1 << row_pow);
+            let coord = m.decode(addr);
+            prop_assert_eq!(m.encode(coord), addr);
+            prop_assert!(coord.bank < banks);
+            prop_assert!(coord.column < (1 << row_pow));
+        }
+
+        #[test]
+        fn split_covers_range_exactly(addr in 0u64..1_000_000u64, len in 1usize..10_000) {
+            let m = AddressMapping::new(16, 2048);
+            let chunks = m.split_by_row(addr, len);
+            let total: usize = chunks.iter().map(|(_, l)| *l).sum();
+            prop_assert_eq!(total, len);
+            prop_assert_eq!(chunks[0].0, addr);
+            // Chunks are contiguous.
+            for w in chunks.windows(2) {
+                prop_assert_eq!(w[0].0 + w[0].1 as u64, w[1].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Memory request / completion types shared by the DRAM controller and its
+//! clients (the cache hierarchy and the RME fetch units).
+
+use relmem_sim::SimTime;
+
+/// A read request for `bytes` bytes starting at physical address `addr`.
+///
+/// `ready` is the earliest time the request can be presented to the
+/// controller — callers that pipeline multiple outstanding requests (the
+/// prefetcher, the MLP fetch units) use it to overlap latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Physical start address.
+    pub addr: u64,
+    /// Number of bytes requested.
+    pub bytes: usize,
+    /// Earliest issue time.
+    pub ready: SimTime,
+}
+
+impl MemRequest {
+    /// Convenience constructor.
+    pub fn new(addr: u64, bytes: usize, ready: SimTime) -> Self {
+        MemRequest { addr, bytes, ready }
+    }
+}
+
+/// The timing outcome of a serviced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// When the request started occupying DRAM resources.
+    pub start: SimTime,
+    /// When the last byte arrived at the requester.
+    pub finish: SimTime,
+    /// Whether every row touched was already open (pure row-buffer hit).
+    pub row_hit: bool,
+}
+
+impl Completion {
+    /// Service latency (finish − start).
+    pub fn latency(&self) -> SimTime {
+        self.finish.saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_latency() {
+        let c = Completion {
+            start: SimTime::from_nanos(10),
+            finish: SimTime::from_nanos(35),
+            row_hit: true,
+        };
+        assert_eq!(c.latency(), SimTime::from_nanos(25));
+    }
+
+    #[test]
+    fn request_constructor() {
+        let r = MemRequest::new(64, 16, SimTime::from_nanos(1));
+        assert_eq!(r.addr, 64);
+        assert_eq!(r.bytes, 16);
+        assert_eq!(r.ready, SimTime::from_nanos(1));
+    }
+}

@@ -1,0 +1,267 @@
+//! The Reorganization Buffer: Data SPM + Metadata SPM.
+//!
+//! Extracted column chunks are written into the Data SPM at the packed
+//! offset the Requestor computed; the Metadata SPM keeps, for every cache
+//! line of packed data, the tuple `{P, K, ID}`: the epoch the line belongs
+//! to, the number of valid bytes accumulated so far, and the ID of a stalled
+//! CPU transaction waiting for it (if any). A line is complete when its
+//! valid-byte count reaches the line size *and* its epoch matches the
+//! engine's current epoch; bumping the epoch therefore invalidates the whole
+//! buffer in a single cycle — the lightweight reset used when moving to the
+//! next frame of a table larger than the SPM.
+
+use relmem_sim::SimTime;
+
+/// Per-line metadata (the Metadata SPM entry `{P, K, ID}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LineMeta {
+    /// Epoch the line's data belongs to (`P`).
+    epoch: u64,
+    /// Valid bytes accumulated (`K`).
+    valid_bytes: u32,
+    /// Stalled transaction ID, if a CPU request is waiting on this line.
+    pending_id: Option<u16>,
+    /// Time at which the line became complete (timing-model companion of
+    /// the completion bit).
+    complete_at: SimTime,
+}
+
+/// The Data + Metadata scratch-pad memories.
+#[derive(Debug, Clone)]
+pub struct ReorganizationBuffer {
+    line_bytes: usize,
+    data: Vec<u8>,
+    meta: Vec<LineMeta>,
+    epoch: u64,
+    /// Statistics: completed lines and epoch resets.
+    lines_completed: u64,
+    resets: u64,
+}
+
+impl ReorganizationBuffer {
+    /// Creates a buffer of `capacity_bytes` data SPM, organised in
+    /// `line_bytes` lines.
+    pub fn new(capacity_bytes: usize, line_bytes: usize) -> Self {
+        assert!(line_bytes.is_power_of_two());
+        assert!(capacity_bytes % line_bytes == 0 && capacity_bytes > 0);
+        let lines = capacity_bytes / line_bytes;
+        ReorganizationBuffer {
+            line_bytes,
+            data: vec![0u8; capacity_bytes],
+            meta: vec![LineMeta::default(); lines],
+            // Start at epoch 1 so that the all-zero metadata is "stale".
+            epoch: 1,
+            lines_completed: 0,
+            resets: 0,
+        }
+    }
+
+    /// Capacity of the Data SPM in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of cache lines the buffer holds.
+    pub fn num_lines(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of lines that reached completion since construction.
+    pub fn lines_completed(&self) -> u64 {
+        self.lines_completed
+    }
+
+    /// Number of epoch resets performed.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Invalidates every line by bumping the epoch — the single-cycle
+    /// software-triggered reset of Section 5.
+    pub fn reset_epoch(&mut self) {
+        self.epoch += 1;
+        self.resets += 1;
+    }
+
+    /// Writes an extracted chunk at `offset` bytes within the buffer,
+    /// arriving at `when`. Returns the indices of lines that became complete
+    /// as a result.
+    ///
+    /// # Panics
+    /// Panics if the chunk does not fit in the buffer.
+    pub fn write_chunk(&mut self, offset: usize, bytes: &[u8], when: SimTime) -> Vec<usize> {
+        assert!(
+            offset + bytes.len() <= self.data.len(),
+            "chunk [{offset}, {}) exceeds SPM capacity {}",
+            offset + bytes.len(),
+            self.data.len()
+        );
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+
+        let mut completed = Vec::new();
+        let first_line = offset / self.line_bytes;
+        let last_line = (offset + bytes.len() - 1) / self.line_bytes;
+        for line in first_line..=last_line {
+            let line_start = line * self.line_bytes;
+            let line_end = line_start + self.line_bytes;
+            let overlap =
+                (offset + bytes.len()).min(line_end) - offset.max(line_start);
+            let meta = &mut self.meta[line];
+            if meta.epoch != self.epoch {
+                // First write of this epoch: start counting from zero.
+                meta.epoch = self.epoch;
+                meta.valid_bytes = 0;
+                meta.complete_at = SimTime::ZERO;
+                meta.pending_id = meta.pending_id.take();
+            }
+            meta.valid_bytes += overlap as u32;
+            meta.complete_at = meta.complete_at.max(when);
+            debug_assert!(
+                meta.valid_bytes as usize <= self.line_bytes,
+                "line {line} overfilled"
+            );
+            if meta.valid_bytes as usize == self.line_bytes {
+                self.lines_completed += 1;
+                completed.push(line);
+            }
+        }
+        completed
+    }
+
+    /// Marks a line complete without data movement (used when a line is
+    /// known to be shorter than a full cache line — the tail of the packed
+    /// projection — or when prewarming for "hot" measurements).
+    pub fn force_complete(&mut self, line: usize, when: SimTime) {
+        let line_bytes = self.line_bytes as u32;
+        let meta = &mut self.meta[line];
+        if meta.epoch != self.epoch || meta.valid_bytes != line_bytes {
+            self.lines_completed += 1;
+        }
+        meta.epoch = self.epoch;
+        meta.valid_bytes = line_bytes;
+        meta.complete_at = meta.complete_at.max(when);
+    }
+
+    /// Whether a line is complete in the current epoch.
+    pub fn is_complete(&self, line: usize) -> bool {
+        let meta = &self.meta[line];
+        meta.epoch == self.epoch && meta.valid_bytes as usize == self.line_bytes
+    }
+
+    /// The time a complete line became available (ZERO for prewarmed lines).
+    /// Returns `None` if the line is not complete in the current epoch.
+    pub fn completion_time(&self, line: usize) -> Option<SimTime> {
+        self.is_complete(line).then(|| self.meta[line].complete_at)
+    }
+
+    /// Records that a CPU transaction with `id` is stalled on `line`
+    /// (Reorganization Buffer miss). Returns the previously stalled ID, if
+    /// the hardware would have had to chain them.
+    pub fn stall(&mut self, line: usize, id: u16) -> Option<u16> {
+        self.meta[line].pending_id.replace(id)
+    }
+
+    /// Takes the stalled transaction ID of a line, if any (called when the
+    /// line completes so the Trapper can answer it).
+    pub fn take_stalled(&mut self, line: usize) -> Option<u16> {
+        self.meta[line].pending_id.take()
+    }
+
+    /// Reads a full line of packed data.
+    pub fn read_line(&self, line: usize) -> &[u8] {
+        let start = line * self.line_bytes;
+        &self.data[start..start + self.line_bytes]
+    }
+
+    /// Reads an arbitrary byte range of the packed data (for tests and for
+    /// the functional path of partially filled tail lines).
+    pub fn read_bytes(&self, offset: usize, len: usize) -> &[u8] {
+        &self.data[offset..offset + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn chunks_accumulate_until_the_line_completes() {
+        let mut buf = ReorganizationBuffer::new(256, 64);
+        assert!(!buf.is_complete(0));
+        let done = buf.write_chunk(0, &[1u8; 32], ns(10));
+        assert!(done.is_empty());
+        assert!(!buf.is_complete(0));
+        let done = buf.write_chunk(32, &[2u8; 32], ns(25));
+        assert_eq!(done, vec![0]);
+        assert!(buf.is_complete(0));
+        assert_eq!(buf.completion_time(0), Some(ns(25)));
+        assert_eq!(&buf.read_line(0)[..2], &[1, 1]);
+        assert_eq!(&buf.read_line(0)[32..34], &[2, 2]);
+        assert_eq!(buf.lines_completed(), 1);
+    }
+
+    #[test]
+    fn a_chunk_spanning_two_lines_feeds_both() {
+        let mut buf = ReorganizationBuffer::new(256, 64);
+        buf.write_chunk(0, &[7u8; 60], ns(1));
+        buf.write_chunk(100, &[8u8; 28], ns(2));
+        // Bytes 60..128 complete both line 0 (4 missing bytes) and line 1.
+        let done = buf.write_chunk(60, &[9u8; 40], ns(3));
+        assert_eq!(done, vec![0, 1]);
+        assert_eq!(buf.completion_time(1), Some(ns(3)));
+    }
+
+    #[test]
+    fn epoch_reset_invalidates_in_one_step() {
+        let mut buf = ReorganizationBuffer::new(128, 64);
+        buf.write_chunk(0, &[1u8; 64], ns(5));
+        assert!(buf.is_complete(0));
+        buf.reset_epoch();
+        assert!(!buf.is_complete(0));
+        assert_eq!(buf.completion_time(0), None);
+        assert_eq!(buf.resets(), 1);
+        // Writing after the reset starts a fresh count.
+        let done = buf.write_chunk(0, &[2u8; 64], ns(50));
+        assert_eq!(done, vec![0]);
+        assert_eq!(buf.completion_time(0), Some(ns(50)));
+    }
+
+    #[test]
+    fn stalled_ids_are_tracked_per_line() {
+        let mut buf = ReorganizationBuffer::new(128, 64);
+        assert_eq!(buf.stall(1, 7), None);
+        assert_eq!(buf.stall(1, 9), Some(7));
+        assert_eq!(buf.take_stalled(1), Some(9));
+        assert_eq!(buf.take_stalled(1), None);
+    }
+
+    #[test]
+    fn force_complete_marks_partial_tail_lines() {
+        let mut buf = ReorganizationBuffer::new(128, 64);
+        buf.write_chunk(64, &[3u8; 10], ns(4));
+        assert!(!buf.is_complete(1));
+        buf.force_complete(1, ns(6));
+        assert!(buf.is_complete(1));
+        assert_eq!(buf.completion_time(1), Some(ns(6)));
+        // Forcing an already complete line does not double count.
+        let completed_before = buf.lines_completed();
+        buf.force_complete(1, ns(7));
+        assert_eq!(buf.lines_completed(), completed_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SPM capacity")]
+    fn overflowing_chunk_panics() {
+        let mut buf = ReorganizationBuffer::new(128, 64);
+        buf.write_chunk(100, &[0u8; 64], SimTime::ZERO);
+    }
+}

@@ -1,0 +1,145 @@
+//! The Requestor: descriptor generation and dispatch.
+//!
+//! When the Monitor Bypass reports the first miss of a frame, the Requestor
+//! walks the frame's rows and columns of interest, evaluates equations
+//! (1)–(6) for each pair and hands the resulting descriptors to idle Fetch
+//! Units. The configuration port stores the widths and offsets of all (up
+//! to eleven) columns of interest in registers, so the address arithmetic of
+//! one *row* — every column's descriptor — is evaluated by parallel adders
+//! in a single PL cycle; the dispatch times reported here are therefore
+//! spaced per row, which is the issue-rate bound of the engine.
+
+use relmem_sim::SimTime;
+
+use crate::descriptor::{descriptor_for, Descriptor};
+use crate::geometry::TableGeometry;
+
+/// A descriptor together with the earliest time it may be dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchedDescriptor {
+    /// The descriptor itself.
+    pub descriptor: Descriptor,
+    /// Earliest dispatch time (Requestor issue-rate bound).
+    pub dispatch_at: SimTime,
+}
+
+/// The Requestor module.
+#[derive(Debug, Clone)]
+pub struct Requestor {
+    bus_bytes: usize,
+    descriptor_period: SimTime,
+    generated: u64,
+}
+
+impl Requestor {
+    /// Creates a Requestor. `descriptor_period` is the time between two
+    /// consecutive descriptor emissions (one per PL cycle in the prototype).
+    pub fn new(bus_bytes: usize, descriptor_period: SimTime) -> Self {
+        Requestor {
+            bus_bytes,
+            descriptor_period,
+            generated: 0,
+        }
+    }
+
+    /// Descriptors generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Generates the descriptor stream for a frame.
+    ///
+    /// * `rows` — the source-row indices belonging to the frame, in order.
+    ///   When MVCC filtering is active this is the list of *visible* rows;
+    ///   their position in the slice is the packed row index **within the
+    ///   frame**.
+    /// * `start` — when the Requestor is activated (first miss of the frame
+    ///   reaching the PL).
+    ///
+    /// The returned descriptors use frame-relative `waddr` (packed offsets
+    /// starting at zero for the first row of the frame).
+    pub fn generate_frame(
+        &mut self,
+        geometry: &TableGeometry,
+        rows: &[u64],
+        start: SimTime,
+    ) -> Vec<DispatchedDescriptor> {
+        let q = geometry.num_columns();
+        let mut out = Vec::with_capacity(rows.len() * q);
+        for (packed_idx, &row) in rows.iter().enumerate() {
+            // One PL cycle per source row: all of the row's column
+            // descriptors are produced by parallel adders in that cycle.
+            let dispatch_at = start + self.descriptor_period * packed_idx as u64;
+            for j in 0..q {
+                let descriptor =
+                    descriptor_for(geometry, row, packed_idx as u64, j, self.bus_bytes);
+                out.push(DispatchedDescriptor {
+                    descriptor,
+                    dispatch_at,
+                });
+            }
+        }
+        self.generated += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ColumnSpec;
+
+    fn geometry(rows: u64) -> TableGeometry {
+        TableGeometry {
+            row_bytes: 64,
+            row_count: rows,
+            columns: vec![
+                ColumnSpec { width: 4, oa_delta: 0 },
+                ColumnSpec { width: 8, oa_delta: 24 },
+            ],
+            source_base: 0,
+            ephemeral_base: 0x1000_0000,
+            mvcc_header_bytes: 0,
+            snapshot: None,
+        }
+    }
+
+    #[test]
+    fn generates_q_descriptors_per_row_at_one_per_period() {
+        let g = geometry(100);
+        let mut r = Requestor::new(16, SimTime::from_nanos(10));
+        let ds = r.generate_frame(&g, &[0, 1, 2], SimTime::from_nanos(100));
+        assert_eq!(ds.len(), 6);
+        assert_eq!(r.generated(), 6);
+        // Dispatch times are spaced by one descriptor period per *row*; both
+        // columns of a row are produced in the same cycle.
+        assert_eq!(ds[0].dispatch_at, SimTime::from_nanos(100));
+        assert_eq!(ds[1].dispatch_at, SimTime::from_nanos(100));
+        assert_eq!(ds[2].dispatch_at, SimTime::from_nanos(110));
+        assert_eq!(ds[5].dispatch_at, SimTime::from_nanos(120));
+        // Row-major order: row 0 col 0, row 0 col 1, row 1 col 0, ...
+        assert_eq!(ds[0].descriptor.row, 0);
+        assert_eq!(ds[1].descriptor.column, 1);
+        assert_eq!(ds[2].descriptor.row, 1);
+    }
+
+    #[test]
+    fn filtered_rows_pack_densely() {
+        let g = geometry(100);
+        let mut r = Requestor::new(16, SimTime::from_nanos(10));
+        // Only rows 5 and 9 are visible: they become packed rows 0 and 1.
+        let ds = r.generate_frame(&g, &[5, 9], SimTime::ZERO);
+        let packed_row = g.packed_row_bytes() as u64;
+        assert_eq!(ds[0].descriptor.waddr, 0);
+        assert_eq!(ds[2].descriptor.waddr, packed_row);
+        assert_eq!(ds[2].descriptor.raddr, 9 * 64);
+    }
+
+    #[test]
+    fn empty_frame_produces_nothing() {
+        let g = geometry(10);
+        let mut r = Requestor::new(16, SimTime::from_nanos(10));
+        assert!(r.generate_frame(&g, &[], SimTime::ZERO).is_empty());
+        assert_eq!(r.generated(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Hardware revisions of the engine (Section 5.2).
+//!
+//! The paper develops the design in three steps and Figure 6 compares them:
+//!
+//! * **BSL** — the baseline: each Fetch Unit supports a single outstanding
+//!   read transaction and the Writer pushes every extracted chunk to BRAM
+//!   individually.
+//! * **PCK** — adds a packing register in the Fetch Unit, so the BRAM is
+//!   written only once a full cache line worth of packed data is ready.
+//! * **MLP** — additionally lets the Reader keep up to 16 independent
+//!   outstanding read transactions in flight, turning the engine from
+//!   latency-bound into bandwidth-bound.
+
+/// A hardware revision of the RME.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HwRevision {
+    /// Baseline design: serial fetches, per-chunk BRAM writes.
+    Bsl,
+    /// Baseline + packer register in the Fetch Unit.
+    Pck,
+    /// Packer + memory-level parallelism (16 outstanding reads).
+    #[default]
+    Mlp,
+}
+
+impl HwRevision {
+    /// Maximum outstanding read transactions per Fetch Unit Reader.
+    pub fn outstanding_reads(&self) -> usize {
+        match self {
+            HwRevision::Bsl | HwRevision::Pck => 1,
+            HwRevision::Mlp => 16,
+        }
+    }
+
+    /// Whether extracted chunks are packed into a full line before being
+    /// written to the Reorganization Buffer.
+    pub fn has_packer(&self) -> bool {
+        !matches!(self, HwRevision::Bsl)
+    }
+
+    /// Short label used in reports (matches the paper's figure legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HwRevision::Bsl => "BSL",
+            HwRevision::Pck => "PCK",
+            HwRevision::Mlp => "MLP",
+        }
+    }
+
+    /// All revisions in the order the paper presents them.
+    pub fn all() -> [HwRevision; 3] {
+        [HwRevision::Bsl, HwRevision::Pck, HwRevision::Mlp]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revision_parameters_match_the_paper() {
+        assert_eq!(HwRevision::Bsl.outstanding_reads(), 1);
+        assert_eq!(HwRevision::Pck.outstanding_reads(), 1);
+        assert_eq!(HwRevision::Mlp.outstanding_reads(), 16);
+        assert!(!HwRevision::Bsl.has_packer());
+        assert!(HwRevision::Pck.has_packer());
+        assert!(HwRevision::Mlp.has_packer());
+    }
+
+    #[test]
+    fn default_is_mlp_and_labels_match() {
+        assert_eq!(HwRevision::default(), HwRevision::Mlp);
+        assert_eq!(HwRevision::all().map(|r| r.label()), ["BSL", "PCK", "MLP"]);
+    }
+}

@@ -1,0 +1,367 @@
+//! Platform configuration.
+//!
+//! [`PlatformConfig`] gathers every structural and timing parameter of the
+//! modelled PS–PL platform. The defaults describe the Xilinx ZCU102 board
+//! used by the paper: four Cortex-A53 cores at 1.2 GHz, 32 KB private L1
+//! data caches, a 1 MB shared L2, DDR4 main memory behind a 16-byte data
+//! bus, and a 100 MHz programmable-logic region holding the RME with a 2 MB
+//! Data SPM.
+//!
+//! All experiment shapes in `relmem-bench` derive from these parameters —
+//! there are no per-experiment magic constants.
+
+use crate::clock::ClockDomain;
+use crate::time::SimTime;
+
+/// CPU cluster parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Core frequency in MHz (A53 on the ZCU102 runs at ~1.2 GHz).
+    pub freq_mhz: f64,
+    /// Number of cores in the cluster (the benchmark is single-threaded but
+    /// the count matters for the resource model and future extensions).
+    pub cores: usize,
+    /// Maximum number of outstanding demand misses a core can sustain
+    /// (miss-status-holding registers). Governs how much DRAM latency the
+    /// core itself can hide without the prefetcher.
+    pub max_outstanding_misses: usize,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            freq_mhz: 1_200.0,
+            cores: 4,
+            max_outstanding_misses: 6,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// The CPU clock domain.
+    pub fn clock(&self) -> ClockDomain {
+        ClockDomain::new("cpu", self.freq_mhz)
+    }
+}
+
+/// A single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in CPU cycles.
+    pub hit_latency_cycles: u64,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets implied by size / associativity / line size.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.associativity * self.line_bytes)
+    }
+}
+
+/// DRAM device + controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Number of independently schedulable banks.
+    pub banks: usize,
+    /// DRAM row (page) size per bank in bytes.
+    pub row_bytes: usize,
+    /// Data bus width in bytes per beat (the paper's Requestor reasons in
+    /// 16-byte bus words).
+    pub bus_bytes: usize,
+    /// Time to transfer one bus beat on the data bus.
+    pub beat_time: SimTime,
+    /// Activate (row open) latency, tRCD.
+    pub t_rcd: SimTime,
+    /// Column access latency, tCAS/tCL.
+    pub t_cas: SimTime,
+    /// Precharge latency, tRP.
+    pub t_rp: SimTime,
+    /// Column-to-column command spacing, tCCD: how long a bank is occupied
+    /// by a row-buffer-hit access (back-to-back hits pipeline at this rate
+    /// even though each one still observes the full CAS latency).
+    pub t_ccd: SimTime,
+    /// Fixed controller/front-end overhead per request (queueing, PHY).
+    pub controller_overhead: SimTime,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            banks: 16,
+            row_bytes: 2048,
+            bus_bytes: 16,
+            // DDR4-2133-ish: 16 B/beat at ~17 GB/s peak ≈ 0.94 ns per beat;
+            // we use 1.25 ns (12.8 GB/s effective) to account for refresh
+            // and scheduling gaps.
+            beat_time: SimTime::from_picos(1_250),
+            t_rcd: SimTime::from_nanos_f64(14.0),
+            t_cas: SimTime::from_nanos_f64(14.0),
+            t_rp: SimTime::from_nanos_f64(14.0),
+            t_ccd: SimTime::from_nanos_f64(5.0),
+            controller_overhead: SimTime::from_nanos_f64(20.0),
+        }
+    }
+}
+
+impl DramConfig {
+    /// Time to stream `bytes` over the data bus (rounded up to whole beats).
+    pub fn transfer_time(&self, bytes: usize) -> SimTime {
+        let beats = bytes.div_ceil(self.bus_bytes) as u64;
+        self.beat_time * beats
+    }
+
+    /// Latency of a row-buffer hit access (excluding data transfer).
+    pub fn row_hit_latency(&self) -> SimTime {
+        self.controller_overhead + self.t_cas
+    }
+
+    /// Latency of a row-buffer miss access (excluding data transfer).
+    pub fn row_miss_latency(&self) -> SimTime {
+        self.controller_overhead + self.t_rp + self.t_rcd + self.t_cas
+    }
+}
+
+/// PS ↔ PL interface parameters (AXI + clock-domain crossing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdcConfig {
+    /// PL fabric frequency in MHz (100 MHz in the paper's prototype).
+    pub pl_freq_mhz: f64,
+    /// PL cycles of clock-domain-crossing latency added to a request on its
+    /// way into the PL.
+    pub request_pl_cycles: u64,
+    /// PL cycles of clock-domain-crossing latency added to a response on its
+    /// way back to the PS.
+    pub response_pl_cycles: u64,
+    /// Effective width of the PS–PL high-performance port in bytes per PL
+    /// cycle. The HP ports are 128-bit AXI interfaces that can be clocked
+    /// independently of (and faster than) the 100 MHz engine fabric; the
+    /// asynchronous FIFO between the two domains drains two engine-side
+    /// words per engine cycle, hence 32 bytes per PL cycle.
+    pub port_bytes_per_cycle: usize,
+    /// Maximum outstanding CPU-side transactions the Trapper accepts.
+    pub max_outstanding: usize,
+    /// End-to-end latency of a PL-originated read reaching DRAM and coming
+    /// back through the PS interconnect (HP port + DDR controller). This is
+    /// a pure latency — revisions with many outstanding reads hide it, the
+    /// single-outstanding BSL design pays it on every chunk.
+    pub pl_dram_read_latency: SimTime,
+}
+
+impl Default for CdcConfig {
+    fn default() -> Self {
+        CdcConfig {
+            pl_freq_mhz: 100.0,
+            request_pl_cycles: 2,
+            response_pl_cycles: 2,
+            port_bytes_per_cycle: 32,
+            max_outstanding: 8,
+            pl_dram_read_latency: SimTime::from_nanos_f64(200.0),
+        }
+    }
+}
+
+impl CdcConfig {
+    /// The PL clock domain.
+    pub fn pl_clock(&self) -> ClockDomain {
+        ClockDomain::new("pl", self.pl_freq_mhz)
+    }
+
+    /// One-way request crossing latency.
+    pub fn request_latency(&self) -> SimTime {
+        self.pl_clock().cycles(self.request_pl_cycles)
+    }
+
+    /// One-way response crossing latency.
+    pub fn response_latency(&self) -> SimTime {
+        self.pl_clock().cycles(self.response_pl_cycles)
+    }
+
+    /// Time to move `bytes` across the PS–PL port (occupancy, not latency).
+    pub fn port_transfer_time(&self, bytes: usize) -> SimTime {
+        let cycles = bytes.div_ceil(self.port_bytes_per_cycle) as u64;
+        self.pl_clock().cycles(cycles)
+    }
+}
+
+/// Structural parameters of the RME hardware itself (independent of the
+/// revision; revision-specific behaviour lives in `relmem-rme`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmeHwConfig {
+    /// Data scratch-pad memory capacity in bytes (2 MB on the ZCU102 build).
+    pub data_spm_bytes: usize,
+    /// Metadata scratch-pad memory capacity in bytes.
+    pub metadata_spm_bytes: usize,
+    /// Number of Fetch Units instantiated.
+    pub fetch_units: usize,
+    /// Maximum number of columns of interest the configuration port accepts
+    /// (11 in the prototype).
+    pub max_columns: usize,
+    /// Maximum width of a single column of interest in bytes (64 = one full
+    /// cache line in the prototype).
+    pub max_column_width: usize,
+    /// Bus beats each Fetch Unit's read-data port absorbs per PL cycle (the
+    /// HP read channels are wider/faster than the 100 MHz engine fabric, so
+    /// the landing FIFO drains two 16-byte beats per engine cycle).
+    pub port_beats_per_cycle: u64,
+    /// PL cycles for a Data SPM read or write of one bus word.
+    pub spm_access_cycles: u64,
+    /// PL cycles the Requestor needs to emit one descriptor.
+    pub descriptor_cycles: u64,
+    /// PL cycles the Column Extractor needs per bus beat of payload.
+    pub extract_cycles_per_beat: u64,
+}
+
+impl Default for RmeHwConfig {
+    fn default() -> Self {
+        RmeHwConfig {
+            data_spm_bytes: 2 * 1024 * 1024,
+            metadata_spm_bytes: 64 * 1024,
+            fetch_units: 4,
+            max_columns: 11,
+            max_column_width: 64,
+            port_beats_per_cycle: 2,
+            spm_access_cycles: 1,
+            descriptor_cycles: 1,
+            extract_cycles_per_beat: 1,
+        }
+    }
+}
+
+/// Complete platform description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformConfig {
+    /// CPU cluster.
+    pub cpu: CpuConfig,
+    /// Private L1 data cache (per core).
+    pub l1: CacheLevelConfig,
+    /// Shared unified L2 cache.
+    pub l2: CacheLevelConfig,
+    /// Maximum number of sequential streams the hardware prefetcher tracks
+    /// (the paper observes the A53 covers up to four).
+    pub prefetch_streams: usize,
+    /// How many lines ahead the prefetcher runs once a stream is established.
+    pub prefetch_degree: usize,
+    /// DRAM device and controller.
+    pub dram: DramConfig,
+    /// PS–PL interface.
+    pub cdc: CdcConfig,
+    /// RME structural parameters.
+    pub rme: RmeHwConfig,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig::zcu102()
+    }
+}
+
+impl PlatformConfig {
+    /// The ZCU102-like configuration used throughout the paper's evaluation.
+    pub fn zcu102() -> Self {
+        PlatformConfig {
+            cpu: CpuConfig::default(),
+            l1: CacheLevelConfig {
+                size_bytes: 32 * 1024,
+                associativity: 4,
+                line_bytes: 64,
+                hit_latency_cycles: 2,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 1024 * 1024,
+                associativity: 16,
+                line_bytes: 64,
+                hit_latency_cycles: 15,
+            },
+            prefetch_streams: 4,
+            prefetch_degree: 8,
+            dram: DramConfig::default(),
+            cdc: CdcConfig::default(),
+            rme: RmeHwConfig::default(),
+        }
+    }
+
+    /// A configuration with a tiny L1/L2 and SPM, useful for unit tests that
+    /// want to exercise evictions and SPM frame turnover cheaply.
+    pub fn tiny_for_tests() -> Self {
+        let mut cfg = PlatformConfig::zcu102();
+        cfg.l1.size_bytes = 1024;
+        cfg.l2.size_bytes = 8 * 1024;
+        cfg.rme.data_spm_bytes = 4 * 1024;
+        cfg
+    }
+
+    /// Cache line size shared by both levels (the model requires them to
+    /// match, as on the A53).
+    pub fn line_bytes(&self) -> usize {
+        debug_assert_eq!(self.l1.line_bytes, self.l2.line_bytes);
+        self.l1.line_bytes
+    }
+
+    /// The CPU clock domain.
+    pub fn cpu_clock(&self) -> ClockDomain {
+        self.cpu.clock()
+    }
+
+    /// The PL clock domain.
+    pub fn pl_clock(&self) -> ClockDomain {
+        self.cdc.pl_clock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zcu102_defaults_match_paper() {
+        let cfg = PlatformConfig::zcu102();
+        assert_eq!(cfg.cpu.cores, 4);
+        assert_eq!(cfg.l1.size_bytes, 32 * 1024);
+        assert_eq!(cfg.l2.size_bytes, 1024 * 1024);
+        assert_eq!(cfg.line_bytes(), 64);
+        assert_eq!(cfg.prefetch_streams, 4);
+        assert_eq!(cfg.dram.bus_bytes, 16);
+        assert_eq!(cfg.rme.data_spm_bytes, 2 * 1024 * 1024);
+        assert_eq!(cfg.rme.max_columns, 11);
+        assert_eq!(cfg.rme.max_column_width, 64);
+        assert!((cfg.cdc.pl_freq_mhz - 100.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn cache_sets_computed() {
+        let cfg = PlatformConfig::zcu102();
+        assert_eq!(cfg.l1.sets(), 32 * 1024 / (4 * 64));
+        assert_eq!(cfg.l2.sets(), 1024 * 1024 / (16 * 64));
+    }
+
+    #[test]
+    fn dram_latencies_ordered() {
+        let d = DramConfig::default();
+        assert!(d.row_hit_latency() < d.row_miss_latency());
+        assert_eq!(d.transfer_time(16), d.beat_time);
+        assert_eq!(d.transfer_time(17), d.beat_time * 2);
+        assert_eq!(d.transfer_time(64), d.beat_time * 4);
+    }
+
+    #[test]
+    fn cdc_costs_scale_with_bytes() {
+        let c = CdcConfig::default();
+        assert_eq!(c.request_latency(), SimTime::from_nanos(20));
+        assert_eq!(c.port_transfer_time(16), SimTime::from_nanos(10));
+        assert_eq!(c.port_transfer_time(64), SimTime::from_nanos(20));
+    }
+
+    #[test]
+    fn tiny_config_is_smaller() {
+        let t = PlatformConfig::tiny_for_tests();
+        let z = PlatformConfig::zcu102();
+        assert!(t.l1.size_bytes < z.l1.size_bytes);
+        assert!(t.rme.data_spm_bytes < z.rme.data_spm_bytes);
+    }
+}

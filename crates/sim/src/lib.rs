@@ -1,0 +1,28 @@
+//! Simulation substrate for the Relational Memory reproduction.
+//!
+//! This crate provides the building blocks shared by every hardware model in
+//! the workspace:
+//!
+//! * a picosecond-resolution [`SimTime`] timebase and [`ClockDomain`]s
+//!   (CPU, programmable logic, DRAM),
+//! * occupancy-tracked [`resource::Resource`]s used to model busses, ports,
+//!   DRAM banks and fetch units,
+//! * a [`config::PlatformConfig`] describing a ZCU102-like PS–PL platform,
+//! * lightweight statistics helpers ([`stats`]),
+//! * plain-text / CSV rendering of experiment output ([`report`]).
+//!
+//! Everything is deterministic: the simulator never consults wall-clock time
+//! or OS randomness, so identical inputs always produce identical results.
+
+pub mod clock;
+pub mod config;
+pub mod report;
+pub mod resource;
+pub mod stats;
+pub mod time;
+
+pub use clock::ClockDomain;
+pub use config::{CacheLevelConfig, CdcConfig, CpuConfig, DramConfig, PlatformConfig, RmeHwConfig};
+pub use resource::{MultiResource, Resource};
+pub use stats::{Counter, MeanStd};
+pub use time::SimTime;

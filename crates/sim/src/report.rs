@@ -1,0 +1,214 @@
+//! Plain-text and CSV rendering of experiment output.
+//!
+//! The benchmark harness reproduces each paper figure as either a [`Table`]
+//! (rows × named columns) or a set of [`Series`] (x/y pairs, one series per
+//! line in the figure). Both render to aligned monospace text for the
+//! terminal / EXPERIMENTS.md and to CSV for external plotting.
+
+use std::fmt::Write as _;
+
+/// A named sequence of `(x, y)` points, corresponding to one line of a
+/// figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Ordered data points: (x label, y value).
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: impl ToString, y: f64) {
+        self.points.push((x.to_string(), y));
+    }
+
+    /// Y values only.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|(_, y)| *y).collect()
+    }
+
+    /// Returns the y value for a given x label, if present.
+    pub fn y_at(&self, x: &str) -> Option<f64> {
+        self.points.iter().find(|(px, _)| px == x).map(|(_, y)| *y)
+    }
+}
+
+/// A rectangular table of results (e.g. Table 2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the arity does not match the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned monospace text.
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", rule.join("-|-"));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers + rows).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", csv_row(&self.headers));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", csv_row(row));
+        }
+        out
+    }
+}
+
+/// Renders a set of series that share x labels as a single table keyed by x.
+pub fn series_table(title: &str, x_header: &str, series: &[Series]) -> Table {
+    let mut headers: Vec<&str> = vec![x_header];
+    for s in series {
+        headers.push(&s.name);
+    }
+    let mut table = Table::new(title, &headers);
+    let xs: Vec<String> = series
+        .first()
+        .map(|s| s.points.iter().map(|(x, _)| x.clone()).collect())
+        .unwrap_or_default();
+    for x in &xs {
+        let mut row = vec![x.clone()];
+        for s in series {
+            row.push(
+                s.y_at(x)
+                    .map(|y| format!("{y:.4}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+fn csv_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulates_points() {
+        let mut s = Series::new("RME Cold");
+        s.push(1, 0.5);
+        s.push(2, 0.75);
+        assert_eq!(s.ys(), vec![0.5, 0.75]);
+        assert_eq!(s.y_at("2"), Some(0.75));
+        assert_eq!(s.y_at("3"), None);
+    }
+
+    #[test]
+    fn table_renders_aligned_text() {
+        let mut t = Table::new("Area Report", &["Resources", "Utilization (%)"]);
+        t.push_row(vec!["LUT".into(), "2.78".into()]);
+        t.push_row(vec!["BRAM".into(), "60.69".into()]);
+        let text = t.render_text();
+        assert!(text.contains("## Area Report"));
+        assert!(text.contains("| LUT "));
+        assert!(text.contains("60.69"));
+        // Every data line has the same length (alignment).
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        let lens: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn series_table_merges_on_x() {
+        let mut a = Series::new("Direct Row-wise");
+        a.push("1", 1.0);
+        a.push("2", 1.0);
+        let mut b = Series::new("RME Cold");
+        b.push("1", 0.8);
+        b.push("2", 0.7);
+        let t = series_table("Figure 7", "Column width", &[a, b]);
+        assert_eq!(t.headers.len(), 3);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1][2], "0.7000");
+    }
+}

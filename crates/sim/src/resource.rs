@@ -1,0 +1,269 @@
+//! Occupancy-tracked hardware resources.
+//!
+//! The timing model in this workspace is a transaction-level pipeline model:
+//! instead of a full discrete-event simulator we track, for each contended
+//! hardware resource (DRAM data bus, DRAM banks, PS–PL port, RME fetch
+//! units), the time at which it next becomes free. A request that needs a
+//! resource starts at `max(request_ready, resource_free)` and occupies the
+//! resource for its service time. This captures the first-order effects the
+//! paper relies on — bandwidth saturation, bank-level parallelism and the
+//! benefit of multiple outstanding transactions — while remaining fast
+//! enough to sweep multi-gigabyte tables.
+
+use crate::time::SimTime;
+
+/// A single-server resource (e.g. a bus) that can serve one request at a
+/// time.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: &'static str,
+    next_free: SimTime,
+    busy: SimTime,
+    served: u64,
+}
+
+impl Resource {
+    /// Creates an idle resource.
+    pub fn new(name: &'static str) -> Self {
+        Resource {
+            name,
+            next_free: SimTime::ZERO,
+            busy: SimTime::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Books the resource for `occupancy`, starting no earlier than `ready`.
+    /// Returns `(start, end)` of the booking.
+    pub fn acquire(&mut self, ready: SimTime, occupancy: SimTime) -> (SimTime, SimTime) {
+        let start = ready.max(self.next_free);
+        let end = start + occupancy;
+        self.next_free = end;
+        self.busy += occupancy;
+        self.served += 1;
+        (start, end)
+    }
+
+    /// The earliest time a new request could start service.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total time spent serving requests.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Number of bookings made.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization in `[0, 1]` relative to a horizon (typically the final
+    /// completion time of the workload).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.is_zero() {
+            0.0
+        } else {
+            self.busy.as_picos() as f64 / horizon.as_picos() as f64
+        }
+    }
+
+    /// Resets the resource to idle, clearing statistics.
+    pub fn reset(&mut self) {
+        self.next_free = SimTime::ZERO;
+        self.busy = SimTime::ZERO;
+        self.served = 0;
+    }
+}
+
+/// A pool of `k` identical servers (e.g. DRAM banks or RME fetch units).
+/// Each booking is served by the earliest-free server.
+#[derive(Debug, Clone)]
+pub struct MultiResource {
+    name: &'static str,
+    servers: Vec<SimTime>,
+    busy: SimTime,
+    served: u64,
+}
+
+impl MultiResource {
+    /// Creates a pool of `servers` idle servers. `servers` must be ≥ 1.
+    pub fn new(name: &'static str, servers: usize) -> Self {
+        assert!(servers >= 1, "a resource pool needs at least one server");
+        MultiResource {
+            name,
+            servers: vec![SimTime::ZERO; servers],
+            busy: SimTime::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of servers in the pool.
+    pub fn capacity(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Books the earliest-available server. Returns `(server_index, start, end)`.
+    pub fn acquire(&mut self, ready: SimTime, occupancy: SimTime) -> (usize, SimTime, SimTime) {
+        let (idx, free) = self
+            .servers
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(_, t)| t)
+            .expect("pool is non-empty");
+        let start = ready.max(free);
+        let end = start + occupancy;
+        self.servers[idx] = end;
+        self.busy += occupancy;
+        self.served += 1;
+        (idx, start, end)
+    }
+
+    /// Books a *specific* server (used when the request is bound to a
+    /// particular bank or unit). Returns `(start, end)`.
+    pub fn acquire_server(
+        &mut self,
+        server: usize,
+        ready: SimTime,
+        occupancy: SimTime,
+    ) -> (SimTime, SimTime) {
+        let free = self.servers[server];
+        let start = ready.max(free);
+        let end = start + occupancy;
+        self.servers[server] = end;
+        self.busy += occupancy;
+        self.served += 1;
+        (start, end)
+    }
+
+    /// The earliest time any server becomes free.
+    pub fn earliest_free(&self) -> SimTime {
+        self.servers.iter().copied().min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// The time a specific server becomes free.
+    pub fn server_free(&self, server: usize) -> SimTime {
+        self.servers[server]
+    }
+
+    /// Total busy time summed across servers.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Number of bookings made.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Average per-server utilization relative to a horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.is_zero() {
+            0.0
+        } else {
+            self.busy.as_picos() as f64
+                / (horizon.as_picos() as f64 * self.servers.len() as f64)
+        }
+    }
+
+    /// Resets all servers to idle, clearing statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            *s = SimTime::ZERO;
+        }
+        self.busy = SimTime::ZERO;
+        self.served = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn single_resource_serializes_requests() {
+        let mut bus = Resource::new("bus");
+        let (s1, e1) = bus.acquire(ns(0), ns(10));
+        assert_eq!((s1, e1), (ns(0), ns(10)));
+        // Second request is ready at t=2 but must wait for the bus.
+        let (s2, e2) = bus.acquire(ns(2), ns(5));
+        assert_eq!((s2, e2), (ns(10), ns(15)));
+        // A request arriving after the bus is free starts immediately.
+        let (s3, e3) = bus.acquire(ns(100), ns(1));
+        assert_eq!((s3, e3), (ns(100), ns(101)));
+        assert_eq!(bus.busy_time(), ns(16));
+        assert_eq!(bus.served(), 3);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut bus = Resource::new("bus");
+        bus.acquire(ns(0), ns(50));
+        assert!((bus.utilization(ns(100)) - 0.5).abs() < 1e-9);
+        assert_eq!(bus.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn pool_overlaps_across_servers() {
+        let mut banks = MultiResource::new("banks", 2);
+        let (_, s1, e1) = banks.acquire(ns(0), ns(10));
+        let (_, s2, e2) = banks.acquire(ns(0), ns(10));
+        // Two servers: both start at 0.
+        assert_eq!((s1, e1), (ns(0), ns(10)));
+        assert_eq!((s2, e2), (ns(0), ns(10)));
+        // Third must wait for one of them.
+        let (_, s3, _) = banks.acquire(ns(0), ns(10));
+        assert_eq!(s3, ns(10));
+        assert_eq!(banks.served(), 3);
+    }
+
+    #[test]
+    fn pool_specific_server_booking() {
+        let mut banks = MultiResource::new("banks", 4);
+        let (s1, e1) = banks.acquire_server(2, ns(0), ns(7));
+        assert_eq!((s1, e1), (ns(0), ns(7)));
+        let (s2, _) = banks.acquire_server(2, ns(1), ns(7));
+        assert_eq!(s2, ns(7));
+        // Other servers are still free.
+        assert_eq!(banks.server_free(0), SimTime::ZERO);
+        assert_eq!(banks.earliest_free(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut bus = Resource::new("bus");
+        bus.acquire(ns(0), ns(10));
+        bus.reset();
+        assert_eq!(bus.next_free(), SimTime::ZERO);
+        assert_eq!(bus.busy_time(), SimTime::ZERO);
+        assert_eq!(bus.served(), 0);
+
+        let mut pool = MultiResource::new("pool", 3);
+        pool.acquire(ns(0), ns(10));
+        pool.reset();
+        assert_eq!(pool.earliest_free(), SimTime::ZERO);
+        assert_eq!(pool.served(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_pool_rejected() {
+        let _ = MultiResource::new("empty", 0);
+    }
+}

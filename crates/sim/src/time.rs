@@ -1,0 +1,208 @@
+//! Picosecond-resolution simulated time.
+//!
+//! All latencies in the workspace are expressed as [`SimTime`], a thin
+//! wrapper around an unsigned picosecond count. Using integer picoseconds
+//! (rather than `f64` nanoseconds) keeps the simulation exactly
+//! deterministic and makes saturating arithmetic explicit.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A point in simulated time or a duration, measured in picoseconds.
+///
+/// The same type is used for both instants and durations; the simulation is
+/// simple enough that the distinction would only add noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant (simulation start) / the empty duration.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs a time from raw picoseconds.
+    pub const fn from_picos(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Constructs a time from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Constructs a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Constructs a time from a floating point nanosecond value, rounding to
+    /// the nearest picosecond. Negative inputs saturate to zero.
+    pub fn from_nanos_f64(ns: f64) -> Self {
+        if ns <= 0.0 {
+            SimTime::ZERO
+        } else {
+            SimTime((ns * 1_000.0).round() as u64)
+        }
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// The value in nanoseconds (lossy).
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The value in microseconds (lossy).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The value in milliseconds (lossy).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other > self`.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scales a duration by an integer factor.
+    pub fn scaled(self, factor: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(factor))
+    }
+
+    /// Returns true if this is the zero time.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        self.scaled(rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |acc, t| acc + t)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.as_nanos_f64();
+        if ns >= 1_000_000.0 {
+            write!(f, "{:.3} ms", ns / 1_000_000.0)
+        } else if ns >= 1_000.0 {
+            write!(f, "{:.3} us", ns / 1_000.0)
+        } else {
+            write!(f, "{:.3} ns", ns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_nanos(5).as_picos(), 5_000);
+        assert_eq!(SimTime::from_micros(2).as_picos(), 2_000_000);
+        assert_eq!(SimTime::from_picos(7).as_picos(), 7);
+        assert_eq!(SimTime::from_nanos(3).as_nanos_f64(), 3.0);
+    }
+
+    #[test]
+    fn float_construction_rounds_and_saturates() {
+        assert_eq!(SimTime::from_nanos_f64(1.5).as_picos(), 1_500);
+        assert_eq!(SimTime::from_nanos_f64(-4.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_nanos_f64(0.0004).as_picos(), 0);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(4);
+        assert_eq!((a + b).as_nanos_f64(), 14.0);
+        assert_eq!((a - b).as_nanos_f64(), 6.0);
+        assert_eq!(a.saturating_sub(b).as_nanos_f64(), 6.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!((b * 3).as_nanos_f64(), 12.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn strict_subtraction_panics_on_underflow() {
+        let _ = SimTime::from_nanos(1) - SimTime::from_nanos(2);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = (1..=4).map(SimTime::from_nanos).sum();
+        assert_eq!(total, SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimTime::from_nanos(12)), "12.000 ns");
+        assert_eq!(format!("{}", SimTime::from_micros(3)), "3.000 us");
+        assert_eq!(format!("{}", SimTime::from_micros(2_500)), "2.500 ms");
+    }
+}

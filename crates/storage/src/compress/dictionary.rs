@@ -1,0 +1,130 @@
+//! Dictionary encoding.
+//!
+//! A [`Dictionary`] maps the distinct values of a column to dense integer
+//! codes. Codes are fixed width (the smallest of 1, 2 or 4 bytes that fits),
+//! so a dictionary-encoded column is still a fixed-width column and can be
+//! projected by the RME like any other; the CPU decodes codes back to values
+//! after projection.
+
+use std::collections::HashMap;
+
+/// An order-preserving-by-first-appearance dictionary for `u64` values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    values: Vec<u64>,
+    codes: HashMap<u64, u32>,
+}
+
+impl Dictionary {
+    /// Builds a dictionary over the distinct values of `data`.
+    pub fn build(data: impl IntoIterator<Item = u64>) -> Self {
+        let mut dict = Dictionary::default();
+        for v in data {
+            dict.intern(v);
+        }
+        dict
+    }
+
+    /// Adds a value if unseen and returns its code.
+    pub fn intern(&mut self, value: u64) -> u32 {
+        if let Some(&code) = self.codes.get(&value) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(value);
+        self.codes.insert(value, code);
+        code
+    }
+
+    /// The code of a value, if present.
+    pub fn encode(&self, value: u64) -> Option<u32> {
+        self.codes.get(&value).copied()
+    }
+
+    /// The value of a code, if valid.
+    pub fn decode(&self, code: u32) -> Option<u64> {
+        self.values.get(code as usize).copied()
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Smallest fixed code width (bytes) able to address every entry:
+    /// 1, 2 or 4.
+    pub fn code_width_bytes(&self) -> usize {
+        let n = self.values.len() as u64;
+        if n <= 1 << 8 {
+            1
+        } else if n <= 1 << 16 {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// Encodes a whole column; values absent from the dictionary are
+    /// interned on the fly.
+    pub fn encode_column(&mut self, data: &[u64]) -> Vec<u32> {
+        data.iter().map(|&v| self.intern(v)).collect()
+    }
+
+    /// Decodes a whole column of codes.
+    ///
+    /// # Panics
+    /// Panics if a code is out of range (corrupt input).
+    pub fn decode_column(&self, codes: &[u32]) -> Vec<u64> {
+        codes
+            .iter()
+            .map(|&c| self.decode(c).expect("code out of dictionary range"))
+            .collect()
+    }
+
+    /// Compression ratio achieved for a column of `n` values of
+    /// `value_width` bytes (ignoring the dictionary itself, which is shared
+    /// across the column).
+    pub fn compression_ratio(&self, value_width: usize) -> f64 {
+        value_width as f64 / self.code_width_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_and_roundtrip() {
+        let mut d = Dictionary::default();
+        assert_eq!(d.intern(100), 0);
+        assert_eq!(d.intern(200), 1);
+        assert_eq!(d.intern(100), 0);
+        assert_eq!(d.cardinality(), 2);
+        assert_eq!(d.encode(200), Some(1));
+        assert_eq!(d.decode(1), Some(200));
+        assert_eq!(d.decode(5), None);
+        assert_eq!(d.encode(999), None);
+    }
+
+    #[test]
+    fn code_width_grows_with_cardinality() {
+        let small = Dictionary::build(0..10u64);
+        assert_eq!(small.code_width_bytes(), 1);
+        let medium = Dictionary::build(0..5_000u64);
+        assert_eq!(medium.code_width_bytes(), 2);
+        let large = Dictionary::build(0..70_000u64);
+        assert_eq!(large.code_width_bytes(), 4);
+        assert!(large.compression_ratio(8) >= 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn column_roundtrip(data in proptest::collection::vec(0u64..500, 1..2_000)) {
+            let mut d = Dictionary::default();
+            let codes = d.encode_column(&data);
+            prop_assert_eq!(d.decode_column(&codes), data);
+            prop_assert!(d.cardinality() <= 500);
+        }
+    }
+}

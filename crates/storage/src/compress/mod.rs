@@ -1,0 +1,37 @@
+//! Column compression schemes supported by Relational Memory (Section 4).
+//!
+//! The paper notes that dictionary and delta (frame-of-reference) encodings
+//! apply equally well to row-oriented base data, so any column group
+//! requested through an ephemeral variable can carry encoded values and be
+//! decoded on the CPU after projection. Run-length encoding is deliberately
+//! not offered, mirroring the paper's argument that it requires sorted data
+//! and an expensive decode step.
+
+pub mod delta;
+pub mod dictionary;
+
+pub use delta::DeltaBlock;
+pub use dictionary::Dictionary;
+
+/// The encodings available for a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Values stored verbatim.
+    Plain,
+    /// Values replaced by fixed-width dictionary codes.
+    Dictionary,
+    /// Values stored as offsets from a per-block reference (frame of
+    /// reference / delta encoding).
+    Delta,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings_are_distinct() {
+        assert_ne!(Encoding::Plain, Encoding::Dictionary);
+        assert_ne!(Encoding::Dictionary, Encoding::Delta);
+    }
+}

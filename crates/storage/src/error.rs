@@ -1,0 +1,65 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors produced by schema construction, table population and projection
+/// validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A schema was built with no columns.
+    EmptySchema,
+    /// A column name appears more than once.
+    DuplicateColumn(String),
+    /// A referenced column index does not exist.
+    ColumnOutOfRange(usize),
+    /// A value's type or width does not match the column it is written to.
+    TypeMismatch { column: String, expected: String },
+    /// A row index is past the end of the table.
+    RowOutOfRange { row: u64, rows: u64 },
+    /// A projection requests no columns, or more columns than supported.
+    InvalidColumnGroup(String),
+    /// The table region does not fit in physical memory.
+    OutOfMemory { requested: usize, available: usize },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::EmptySchema => write!(f, "schema has no columns"),
+            StorageError::DuplicateColumn(name) => write!(f, "duplicate column name {name:?}"),
+            StorageError::ColumnOutOfRange(idx) => write!(f, "column index {idx} out of range"),
+            StorageError::TypeMismatch { column, expected } => {
+                write!(f, "value for column {column:?} must be {expected}")
+            }
+            StorageError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (table has {rows} rows)")
+            }
+            StorageError::InvalidColumnGroup(msg) => write!(f, "invalid column group: {msg}"),
+            StorageError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "table needs {requested} bytes but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::TypeMismatch {
+            column: "num_fld1".into(),
+            expected: "uint(8)".into(),
+        };
+        assert!(e.to_string().contains("num_fld1"));
+        let e = StorageError::RowOutOfRange { row: 10, rows: 5 };
+        assert!(e.to_string().contains("10"));
+    }
+}

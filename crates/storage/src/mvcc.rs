@@ -1,0 +1,118 @@
+//! Multi-version concurrency control metadata (Section 4 of the paper).
+//!
+//! The base data stays row-oriented and writable; analytical reads through
+//! ephemeral variables are read-only. To support in-place updates and
+//! deletes, every row carries two timestamps: `begin` is set when the row
+//! version is inserted and `end` when it is deleted or superseded. A
+//! snapshot at time `t` sees exactly the versions with
+//! `begin ≤ t < end` (with `end = 0` meaning "still valid"). The RME checks
+//! this predicate while packing, so an ephemeral variable always yields the
+//! rows valid at query time — snapshot isolation without extra copies.
+
+/// A logical timestamp. `0` is reserved (used as "+∞" in the end field).
+pub type Timestamp = u64;
+
+/// Whether a table carries MVCC headers, and their layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MvccConfig {
+    /// No version header: every row is visible to every snapshot.
+    #[default]
+    Disabled,
+    /// A 16-byte header (begin, end: little-endian u64) precedes each row.
+    Enabled,
+}
+
+impl MvccConfig {
+    /// Bytes of per-row header.
+    pub fn header_bytes(&self) -> usize {
+        match self {
+            MvccConfig::Disabled => 0,
+            MvccConfig::Enabled => 16,
+        }
+    }
+
+    /// True if versioning is on.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, MvccConfig::Enabled)
+    }
+}
+
+/// A read snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Read timestamp.
+    pub ts: Timestamp,
+}
+
+impl Snapshot {
+    /// Creates a snapshot reading at time `ts`.
+    pub fn at(ts: Timestamp) -> Self {
+        Snapshot { ts }
+    }
+
+    /// Visibility predicate for a row version with the given begin/end
+    /// timestamps (`end == 0` means the version is still live).
+    pub fn sees(&self, begin: Timestamp, end: Timestamp) -> bool {
+        begin <= self.ts && (end == 0 || end > self.ts)
+    }
+}
+
+/// Encodes a version header into 16 little-endian bytes.
+pub fn encode_header(begin: Timestamp, end: Timestamp) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&begin.to_le_bytes());
+    out[8..].copy_from_slice(&end.to_le_bytes());
+    out
+}
+
+/// Decodes a version header from 16 bytes.
+pub fn decode_header(bytes: &[u8]) -> (Timestamp, Timestamp) {
+    let begin = u64::from_le_bytes(bytes[..8].try_into().expect("16-byte header"));
+    let end = u64::from_le_bytes(bytes[8..16].try_into().expect("16-byte header"));
+    (begin, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn header_sizes() {
+        assert_eq!(MvccConfig::Disabled.header_bytes(), 0);
+        assert_eq!(MvccConfig::Enabled.header_bytes(), 16);
+        assert!(MvccConfig::Enabled.is_enabled());
+    }
+
+    #[test]
+    fn visibility_rules() {
+        let snap = Snapshot::at(10);
+        assert!(snap.sees(5, 0)); // live version inserted before
+        assert!(snap.sees(10, 0)); // inserted at the snapshot time
+        assert!(!snap.sees(11, 0)); // inserted later
+        assert!(snap.sees(5, 11)); // deleted after the snapshot
+        assert!(!snap.sees(5, 10)); // deleted exactly at the snapshot
+        assert!(!snap.sees(5, 7)); // deleted before
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = encode_header(42, 99);
+        assert_eq!(decode_header(&h), (42, 99));
+    }
+
+    proptest! {
+        #[test]
+        fn header_roundtrip_prop(b in any::<u64>(), e in any::<u64>()) {
+            prop_assert_eq!(decode_header(&encode_header(b, e)), (b, e));
+        }
+
+        #[test]
+        fn old_snapshot_never_sees_future_insert(ts in 0u64..1000, begin in 0u64..1000) {
+            let snap = Snapshot::at(ts);
+            if begin > ts {
+                prop_assert!(!snap.sees(begin, 0));
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Row values and their fixed-width binary encoding.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::types::Value;
+
+/// An owned row: one [`Value`] per schema column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Wraps a vector of values as a row.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Builds a row of unsigned integers (convenience for the benchmark
+    /// tables whose columns are all numeric).
+    pub fn from_u64s(values: &[u64]) -> Self {
+        Row {
+            values: values.iter().map(|&v| Value::UInt(v)).collect(),
+        }
+    }
+
+    /// The row's values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// A single value.
+    pub fn value(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Validates the row against a schema and encodes it into the row-major
+    /// byte representation.
+    pub fn encode(&self, schema: &Schema) -> Result<Vec<u8>, StorageError> {
+        if self.values.len() != schema.num_columns() {
+            return Err(StorageError::InvalidColumnGroup(format!(
+                "row has {} values, schema has {} columns",
+                self.values.len(),
+                schema.num_columns()
+            )));
+        }
+        let mut out = vec![0u8; schema.row_bytes()];
+        for (idx, value) in self.values.iter().enumerate() {
+            let col = schema.column(idx)?;
+            if !value.compatible_with(col.ty) {
+                return Err(StorageError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.ty.name(),
+                });
+            }
+            let off = schema.offset(idx)?;
+            let width = col.ty.width();
+            out[off..off + width].copy_from_slice(&value.encode(width));
+        }
+        Ok(out)
+    }
+
+    /// Decodes a row from its byte representation.
+    pub fn decode(schema: &Schema, bytes: &[u8]) -> Result<Row, StorageError> {
+        if bytes.len() < schema.row_bytes() {
+            return Err(StorageError::InvalidColumnGroup(format!(
+                "need {} bytes to decode a row, got {}",
+                schema.row_bytes(),
+                bytes.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(schema.num_columns());
+        for idx in 0..schema.num_columns() {
+            let col = schema.column(idx)?;
+            let off = schema.offset(idx)?;
+            values.push(Value::decode(col.ty, &bytes[off..off + col.ty.width()]));
+        }
+        Ok(Row { values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::types::ColumnType;
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("a", ColumnType::UInt(4)),
+            ColumnDef::new("b", ColumnType::Bytes(3)),
+            ColumnDef::new("c", ColumnType::UInt(8)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = schema();
+        let row = Row::new(vec![
+            Value::UInt(0xDEAD),
+            Value::Bytes(vec![9, 8, 7]),
+            Value::UInt(u64::MAX),
+        ]);
+        let bytes = row.encode(&s).unwrap();
+        assert_eq!(bytes.len(), s.row_bytes());
+        assert_eq!(Row::decode(&s, &bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn wrong_arity_and_type_rejected() {
+        let s = schema();
+        let short = Row::from_u64s(&[1, 2]);
+        assert!(short.encode(&s).is_err());
+        let bad = Row::new(vec![
+            Value::UInt(u64::MAX), // does not fit 4 bytes
+            Value::Bytes(vec![1, 2, 3]),
+            Value::UInt(0),
+        ]);
+        assert!(matches!(
+            bad.encode(&s),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_requires_enough_bytes() {
+        let s = schema();
+        assert!(Row::decode(&s, &[0u8; 3]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_numeric_rows(a in 0u64..u32::MAX as u64, b in proptest::collection::vec(any::<u8>(), 3), c in any::<u64>()) {
+            let s = schema();
+            let row = Row::new(vec![Value::UInt(a), Value::Bytes(b), Value::UInt(c)]);
+            let bytes = row.encode(&s).unwrap();
+            prop_assert_eq!(Row::decode(&s, &bytes).unwrap(), row);
+        }
+    }
+}

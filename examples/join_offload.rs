@@ -1,0 +1,52 @@
+//! Join pre-processing: Q5's hash join with the RME projecting only the join
+//! keys and payload columns of both relations.
+//!
+//! Reproduces the observation behind Figure 12: the CPU-side hashing cost is
+//! identical on both paths, but the RME cuts the data-movement share of the
+//! runtime because only `S.(A1,A2)` and `R.(A2,A3)` ever cross the memory
+//! hierarchy, not the full rows.
+//!
+//! Run with: `cargo run --release --example join_offload`
+
+use relational_memory::prelude::*;
+
+fn main() {
+    println!("Q5: SELECT S.A1, R.A3 FROM S JOIN R ON S.A2 = R.A2\n");
+    println!(
+        "{:>9} | {:>14} {:>14} {:>14} | {:>14} {:>14} {:>14} | {:>10}",
+        "row (B)", "direct (ms)", "cpu", "data", "RME (ms)", "cpu", "data", "data saved"
+    );
+    println!("{}", "-".repeat(118));
+    for row_bytes in [16usize, 32, 64, 128, 256] {
+        let params = BenchmarkParams {
+            rows: 20_000,
+            inner_rows: 20_000,
+            row_bytes,
+            column_width: 4,
+            match_fraction: 0.5,
+            ..BenchmarkParams::default()
+        };
+        let mut bench = Benchmark::new(params);
+        let direct = bench.run(Query::Q5, AccessPath::DirectRowWise);
+        let rme = bench.run(Query::Q5, AccessPath::RmeCold);
+        assert_eq!(direct.output, rme.output, "join results must match");
+        let dm = &direct.measurement;
+        let rm = &rme.measurement;
+        let saved = 100.0 * (1.0 - rm.data_time().as_nanos_f64() / dm.data_time().as_nanos_f64());
+        println!(
+            "{:>9} | {:>14.3} {:>14.3} {:>14.3} | {:>14.3} {:>14.3} {:>14.3} | {:>9.1}%",
+            row_bytes,
+            dm.elapsed.as_millis_f64(),
+            dm.cpu_time.as_millis_f64(),
+            dm.data_time().as_millis_f64(),
+            rm.elapsed.as_millis_f64(),
+            rm.cpu_time.as_millis_f64(),
+            rm.data_time().as_millis_f64(),
+            saved,
+        );
+    }
+    println!(
+        "\nHashing dominates and is path-independent; the RME attacks the data-movement share,\n\
+         which grows with row width — matching the paper's Figure 12."
+    );
+}

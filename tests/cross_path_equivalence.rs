@@ -1,0 +1,134 @@
+//! Cross-crate integration: the hardware projection (RME packing) must be
+//! byte-for-byte equivalent to the software projection, for arbitrary
+//! schemas and column groups, and every benchmark query must produce
+//! identical results on every access path.
+
+use proptest::prelude::*;
+use relational_memory::prelude::*;
+use relational_memory::core::system::{RowEffect, ScanSource};
+use relational_memory::storage::ColumnDef;
+use relmem_sim::SimTime;
+
+/// Builds a random (but valid) schema from proptest-chosen column widths.
+fn schema_from_widths(widths: &[usize]) -> Schema {
+    let defs: Vec<ColumnDef> = widths
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let ty = if w <= 8 {
+                ColumnType::UInt(w)
+            } else {
+                ColumnType::Bytes(w)
+            };
+            ColumnDef::new(format!("c{i}"), ty)
+        })
+        .collect();
+    Schema::new(defs).expect("generated schema is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random schemas, row counts and column groups, scanning through an
+    /// ephemeral variable yields exactly the same values as reading the
+    /// fields straight from the row table.
+    #[test]
+    fn rme_projection_equals_software_projection(
+        widths in proptest::collection::vec(1usize..=16, 2..=8),
+        rows in 1u64..400,
+        seed in 0u64..1_000,
+        pick in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let columns: Vec<usize> = (0..widths.len()).filter(|&i| pick[i]).collect();
+        prop_assume!(!columns.is_empty());
+
+        let mut system = System::with_revision(HwRevision::Mlp, 32 << 20);
+        let schema = schema_from_widths(&widths);
+        let mut table = system.create_table(schema, rows, MvccConfig::Disabled).unwrap();
+        DataGen::new(seed).fill_table(system.mem_mut(), &mut table, rows).unwrap();
+
+        // Software reference: read the fields directly.
+        let mut expected: Vec<Vec<u64>> = Vec::new();
+        for row in 0..rows {
+            expected.push(
+                columns
+                    .iter()
+                    .map(|&c| table.read_field(system.mem(), row, c).unwrap().as_u64()
+                        & width_mask(widths[c]))
+                    .collect(),
+            );
+        }
+
+        // Hardware path: ephemeral variable + measured scan.
+        let var = system
+            .register_ephemeral(&table, ColumnGroup::new(columns.clone()).unwrap(), None)
+            .unwrap();
+        system.begin_measurement(AccessPath::RmeCold);
+        let mut actual: Vec<Vec<u64>> = Vec::new();
+        let src = ScanSource::Ephemeral { var: &var };
+        system.scan(&src, SimTime::ZERO, |_, values| {
+            actual.push(values.to_vec());
+            RowEffect::default()
+        });
+        prop_assert_eq!(actual, expected);
+    }
+}
+
+/// Values wider than 8 bytes are compared through their low 8 bytes (the
+/// numeric view used by the query engine).
+fn width_mask(width: usize) -> u64 {
+    if width >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * width)) - 1
+    }
+}
+
+#[test]
+fn all_queries_agree_across_paths_and_parameters() {
+    for (rows, row_bytes, width) in [(1_500u64, 64usize, 4usize), (1_000, 128, 8)] {
+        let params = BenchmarkParams {
+            rows,
+            inner_rows: rows,
+            row_bytes,
+            column_width: width,
+            ..BenchmarkParams::default()
+        };
+        let mut bench = Benchmark::new(params);
+        for query in Query::all() {
+            let reference = bench.run(query, AccessPath::DirectRowWise).output;
+            for path in [
+                AccessPath::DirectColumnar,
+                AccessPath::RmeCold,
+                AccessPath::RmeHot,
+            ] {
+                let run = bench.run(query, path);
+                assert_eq!(
+                    run.output,
+                    reference,
+                    "{} disagreed on {} (rows={rows}, row_bytes={row_bytes}, width={width})",
+                    query.label(),
+                    path.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hardware_revisions_agree_on_results() {
+    // The revisions differ only in timing; every one must produce the same
+    // answers.
+    let mut outputs = Vec::new();
+    for revision in HwRevision::all() {
+        let params = BenchmarkParams {
+            rows: 1_000,
+            revision,
+            ..BenchmarkParams::default()
+        };
+        let mut bench = Benchmark::new(params);
+        outputs.push(bench.run(Query::Q3, AccessPath::RmeCold).output);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+}
