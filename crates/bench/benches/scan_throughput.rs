@@ -1,0 +1,218 @@
+//! Simulator-throughput micro-benchmark: simulated field accesses per
+//! wall-clock second through `System::scan`, optimized hot path vs. the
+//! preserved pre-optimization reference loop (`System::scan_naive` with the
+//! cache hierarchy's line-resident fast path disabled).
+//!
+//! This measures the *simulator*, not the modelled hardware: the number is
+//! how fast experiments run, and it gates how large the scaling sweeps
+//! (Figure 13 and beyond) can grow. Results are printed and written to
+//! `BENCH_scan_throughput.json` in the current directory so successive PRs
+//! can track the trajectory.
+//!
+//! ```text
+//! cargo bench -p relmem-bench --bench scan_throughput [-- --rows N] [-- --quick]
+//! ```
+
+use std::time::Instant;
+
+use relmem_core::system::{RowEffect, ScanSource};
+use relmem_core::{AccessPath, System};
+use relmem_rme::HwRevision;
+use relmem_sim::SimTime;
+use relmem_storage::{DataGen, MvccConfig, Schema};
+
+/// One timed scan pass. Returns (wall seconds, simulated end, cpu, rows,
+/// checksum) so the caller can both rate it and check equivalence.
+fn timed_scan(
+    sys: &mut System,
+    source: &ScanSource<'_>,
+    naive: bool,
+) -> (f64, SimTime, SimTime, u64, u64) {
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let mut checksum = 0u64;
+    let started = Instant::now();
+    let per_row = |_row: u64, values: &[u64]| {
+        checksum = checksum.wrapping_add(values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+        RowEffect::default()
+    };
+    let (end, cpu, rows) = if naive {
+        sys.scan_naive(source, SimTime::ZERO, per_row)
+    } else {
+        sys.scan(source, SimTime::ZERO, per_row)
+    };
+    (started.elapsed().as_secs_f64(), end, cpu, rows, checksum)
+}
+
+fn best_of<F: FnMut() -> (f64, SimTime, SimTime, u64, u64)>(
+    reps: usize,
+    mut f: F,
+) -> (f64, SimTime, SimTime, u64, u64) {
+    let mut best = f();
+    for _ in 1..reps {
+        let run = f();
+        assert_eq!(
+            (run.1, run.2, run.3, run.4),
+            (best.1, best.2, best.3, best.4),
+            "repeated simulation of identical input diverged"
+        );
+        if run.0 < best.0 {
+            best = run;
+        }
+    }
+    best
+}
+
+fn main() {
+    let mut rows: u64 = 1_000_000;
+    let mut reps = 3usize;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                rows = 100_000;
+                reps = 2;
+                quick = true;
+            }
+            "--rows" => {
+                rows = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rows requires a number");
+            }
+            // `cargo bench` appends harness flags like --bench; ignore them.
+            _ => {}
+        }
+    }
+
+    const COLUMNS: [usize; 4] = [0, 1, 2, 3];
+    // The paper's default relation shape: 64-byte rows, 4-byte columns; we
+    // scan the first four columns.
+    let schema = Schema::benchmark(4, 4, 64);
+    let table_bytes = rows * 64;
+    let mem_bytes = (table_bytes + (64 << 20)).next_power_of_two() as usize;
+    let mut sys = System::with_revision(HwRevision::Mlp, mem_bytes);
+    let mut table = sys
+        .create_table(schema, rows, MvccConfig::Disabled)
+        .expect("table fits");
+    DataGen::new(1)
+        .fill_table(sys.mem_mut(), &mut table, rows)
+        .expect("fill");
+    let source = ScanSource::Rows {
+        table: &table,
+        columns: &COLUMNS,
+        snapshot: None,
+    };
+    let fields = rows * COLUMNS.len() as u64;
+    println!(
+        "scan_throughput: {rows} rows x {} columns = {fields} simulated field accesses",
+        COLUMNS.len()
+    );
+
+    // Optimized hot path (line-resident fast path + per-scan cursors).
+    sys.set_cache_fast_path(true);
+    let (opt_secs, opt_end, opt_cpu, opt_rows, opt_sum) =
+        best_of(reps, || timed_scan(&mut sys, &source, false));
+    let opt_rate = fields as f64 / opt_secs;
+    println!("  optimized:  {opt_secs:.3} s wall  ({opt_rate:.3e} fields/s)");
+
+    // Intermediate: the old scan loop (per-field lookups, per-access
+    // backend construction) on the new cache internals, fast path off.
+    sys.set_cache_fast_path(false);
+    let (naive_secs, naive_end, naive_cpu, naive_rows, naive_sum) =
+        best_of(reps, || timed_scan(&mut sys, &source, true));
+    sys.set_cache_fast_path(true);
+    let naive_rate = fields as f64 / naive_secs;
+    println!("  naive loop: {naive_secs:.3} s wall  ({naive_rate:.3e} fields/s)");
+
+    // Pre-optimization baseline: the seed's scan loop over the seed's data
+    // structures (Vec<Vec> tag stores, HashMap pending map, Vec MSHRs,
+    // allocating prefetch decisions and DRAM chunk splits).
+    let (base_secs, base_end, base_cpu, base_rows, base_sum) = best_of(reps, || {
+        let mut hierarchy = relmem_bench::baseline::BaselineHierarchy::new(sys.config());
+        let mut checksum = 0u64;
+        let started = Instant::now();
+        let (end, cpu, rows_scanned) = relmem_bench::baseline::scan_rows_baseline(
+            &mut hierarchy,
+            sys.mem(),
+            &table,
+            &COLUMNS,
+            SimTime::ZERO,
+            |_row, values: &[u64]| {
+                checksum =
+                    checksum.wrapping_add(values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+                RowEffect::default()
+            },
+        );
+        (
+            started.elapsed().as_secs_f64(),
+            end,
+            cpu,
+            rows_scanned,
+            checksum,
+        )
+    });
+    let base_rate = fields as f64 / base_secs;
+    println!("  baseline:   {base_secs:.3} s wall  ({base_rate:.3e} fields/s)");
+
+    // All three must agree on simulated results exactly.
+    assert_eq!(
+        (opt_end, opt_cpu, opt_rows, opt_sum),
+        (naive_end, naive_cpu, naive_rows, naive_sum),
+        "optimized scan diverged from the naive reference loop"
+    );
+    assert_eq!(
+        (opt_end, opt_cpu, opt_rows, opt_sum),
+        (base_end, base_cpu, base_rows, base_sum),
+        "optimized scan diverged from the pre-optimization baseline"
+    );
+
+    // …including every hierarchy counter (one verification pass each).
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let (end, cpu, _) = sys.scan(&source, SimTime::ZERO, |_, _| RowEffect::default());
+    let optimized_stats = sys.finish_measurement(end, cpu, AccessPath::DirectRowWise).cache;
+    let mut hierarchy = relmem_bench::baseline::BaselineHierarchy::new(sys.config());
+    relmem_bench::baseline::scan_rows_baseline(
+        &mut hierarchy,
+        sys.mem(),
+        &table,
+        &COLUMNS,
+        SimTime::ZERO,
+        |_, _| RowEffect::default(),
+    );
+    assert_eq!(
+        optimized_stats,
+        hierarchy.stats(),
+        "optimized hierarchy counters diverged from the baseline"
+    );
+    let speedup = base_secs / opt_secs;
+    let loop_speedup = naive_secs / opt_secs;
+    println!("  speedup vs baseline:   {speedup:.2}x  (simulated output bit-identical)");
+    println!("  speedup vs naive loop: {loop_speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"scan_throughput\",\n  \"rows\": {rows},\n  \"columns\": {},\n  \
+         \"simulated_field_accesses\": {fields},\n  \
+         \"optimized_fields_per_sec\": {opt_rate:.1},\n  \
+         \"naive_loop_fields_per_sec\": {naive_rate:.1},\n  \
+         \"baseline_fields_per_sec\": {base_rate:.1},\n  \
+         \"speedup_vs_baseline\": {speedup:.3},\n  \
+         \"speedup_vs_naive_loop\": {loop_speedup:.3},\n  \
+         \"outputs_identical\": true\n}}\n",
+        COLUMNS.len()
+    );
+    // `cargo bench` runs with the package as cwd; anchor the report at the
+    // workspace root. The tracked BENCH_scan_throughput.json records the
+    // canonical full-scale (1M-row) measurement only; `--quick` smoke runs
+    // (e.g. CI) write to an untracked sibling so they never clobber it.
+    let out = if quick {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_scan_throughput.quick.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan_throughput.json")
+    };
+    std::fs::write(out, &json).expect("write scan_throughput report");
+    println!("wrote {out}");
+}

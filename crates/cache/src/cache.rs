@@ -5,19 +5,50 @@
 //! reorganization buffer), so the cache only needs tags. This keeps the
 //! model fast enough to sweep gigabyte tables while still producing the
 //! request/miss counts of Figure 8.
+//!
+//! # Layout
+//!
+//! Tags live in one flat, set-major `Vec<u64>` (`tags[set * assoc + way]`)
+//! with a parallel packed array of per-way recency stamps (`stamps`). A
+//! lookup touches one contiguous `assoc`-sized slice — no per-set `Vec`
+//! allocations, no `remove`/`insert` element shifting — which is what lets
+//! `System::scan` simulate millions of field accesses per wall-second.
+//!
+//! Recency is a monotonically increasing stamp written on every touch:
+//! "promote to MRU" is a single store instead of re-ranking the set, and
+//! the eviction victim is the occupied way with the smallest stamp. Stamps
+//! are strictly increasing, so the stamp order *is* the recency order the
+//! previous `Vec<Vec<u64>>` representation kept positionally — replacement
+//! decisions (and therefore all downstream timing and statistics) are
+//! bit-identical, which `flat_tags_match_vec_of_vecs_reference` below
+//! asserts against a faithful reimplementation of the old structure.
 
 use relmem_sim::CacheLevelConfig;
 
 use crate::stats::CacheLevelStats;
+
+/// Sentinel marking an unoccupied way. Real line addresses are aligned to
+/// the (power-of-two, ≥ 2) line size, so `u64::MAX` can never collide.
+const EMPTY: u64 = u64::MAX;
 
 /// A set-associative, true-LRU, tag-only cache.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheLevelConfig,
     sets: usize,
-    /// `ways[set]` holds resident line addresses ordered from MRU (front) to
-    /// LRU (back).
-    ways: Vec<Vec<u64>>,
+    assoc: usize,
+    /// `log2(line_bytes)` — the line size is asserted to be a power of two.
+    line_shift: u32,
+    /// `sets - 1` when the set count is a power of two (the common case);
+    /// lets the set index be a mask instead of a modulo.
+    set_mask: Option<u64>,
+    /// Flat set-major tag array: `tags[set * assoc + way]`.
+    tags: Vec<u64>,
+    /// Recency stamps parallel to `tags`; larger is more recent. Only
+    /// meaningful for occupied ways.
+    stamps: Vec<u64>,
+    /// Source of strictly increasing recency stamps.
+    tick: u64,
     stats: CacheLevelStats,
 }
 
@@ -25,7 +56,8 @@ impl Cache {
     /// Builds a cache from its configuration.
     ///
     /// # Panics
-    /// Panics if the geometry is degenerate (zero sets or ways).
+    /// Panics if the geometry is degenerate (zero sets or ways, or a
+    /// non-power-of-two line size).
     pub fn new(cfg: CacheLevelConfig) -> Self {
         let sets = cfg.sets();
         assert!(sets >= 1, "cache must have at least one set");
@@ -36,7 +68,14 @@ impl Cache {
         );
         Cache {
             sets,
-            ways: vec![Vec::with_capacity(cfg.associativity); sets],
+            assoc: cfg.associativity,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets
+                .is_power_of_two()
+                .then_some(sets as u64 - 1),
+            tags: vec![EMPTY; sets * cfg.associativity],
+            stamps: vec![0; sets * cfg.associativity],
+            tick: 0,
             cfg,
             stats: CacheLevelStats::default(),
         }
@@ -48,24 +87,105 @@ impl Cache {
     }
 
     /// Line-aligns an address.
+    #[inline]
     pub fn line_addr(&self, addr: u64) -> u64 {
         addr & !(self.cfg.line_bytes as u64 - 1)
     }
 
-    fn set_index(&self, line_addr: u64) -> usize {
-        ((line_addr / self.cfg.line_bytes as u64) % self.sets as u64) as usize
+    #[inline]
+    fn set_base(&self, line_addr: u64) -> usize {
+        let line_number = line_addr >> self.line_shift;
+        let set = match self.set_mask {
+            Some(mask) => line_number & mask,
+            None => line_number % self.sets as u64,
+        };
+        set as usize * self.assoc
+    }
+
+    /// Index of the way holding `line` in the set starting at `base`.
+    /// Branchless full-set scan: no early exit, so the compiler can unroll
+    /// and vectorise it (a set is one or two cache lines of tags). The two
+    /// associativities real configurations use (4-way L1, 16-way L2) get
+    /// fixed-trip-count instantiations of the single shared body, which
+    /// LLVM turns into SIMD.
+    #[inline]
+    fn find_way(&self, base: usize, line: u64) -> Option<usize> {
+        // One body for every arm: a literal slice scan.
+        macro_rules! scan {
+            ($set:expr) => {{
+                let mut found = usize::MAX;
+                for (way, &tag) in $set.iter().enumerate() {
+                    if tag == line {
+                        found = way;
+                    }
+                }
+                (found != usize::MAX).then_some(found)
+            }};
+        }
+        let set = &self.tags[base..base + self.assoc];
+        match self.assoc {
+            16 => scan!(<&[u64; 16]>::try_from(set).expect("16-way set")),
+            4 => scan!(<&[u64; 4]>::try_from(set).expect("4-way set")),
+            _ => scan!(set),
+        }
+    }
+
+    /// The eviction candidate of a set: the way with the smallest stamp.
+    /// Empty ways keep stamp 0 (below every real stamp, which start at 1),
+    /// so a single branchless min over the stamp array prefers empty ways
+    /// and otherwise picks the least-recently-used — no tag reads at all.
+    #[inline]
+    fn victim_way(&self, base: usize) -> usize {
+        macro_rules! arg_min {
+            ($stamps:expr) => {{
+                let mut victim = 0usize;
+                let mut best = u64::MAX;
+                for (way, &stamp) in $stamps.iter().enumerate() {
+                    if stamp < best {
+                        best = stamp;
+                        victim = way;
+                    }
+                }
+                victim
+            }};
+        }
+        let stamps = &self.stamps[base..base + self.assoc];
+        match self.assoc {
+            16 => arg_min!(<&[u64; 16]>::try_from(stamps).expect("16-way set")),
+            4 => arg_min!(<&[u64; 4]>::try_from(stamps).expect("4-way set")),
+            _ => arg_min!(stamps),
+        }
+    }
+
+    #[inline]
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Residency probe that refreshes the line's recency on a hit but does
+    /// not touch the request/hit/miss counters. This is the hierarchy's
+    /// hot-path entry point: level counters are kept once, in
+    /// [`HierarchyStats`](crate::stats::HierarchyStats).
+    #[inline]
+    pub fn probe(&mut self, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        let base = self.set_base(line);
+        match self.find_way(base, line) {
+            Some(way) => {
+                self.stamps[base + way] = self.next_tick();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Looks up the line containing `addr`, updating LRU order and counters.
     /// Returns `true` on a hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.stats.requests += 1;
-        let line = self.line_addr(addr);
-        let set = self.set_index(line);
-        let ways = &mut self.ways[set];
-        if let Some(pos) = ways.iter().position(|&l| l == line) {
-            let hit_line = ways.remove(pos);
-            ways.insert(0, hit_line);
+        if self.probe(addr) {
             self.stats.hits += 1;
             true
         } else {
@@ -77,8 +197,49 @@ impl Cache {
     /// Checks residency without updating LRU order or counters.
     pub fn peek(&self, addr: u64) -> bool {
         let line = self.line_addr(addr);
-        let set = self.set_index(line);
-        self.ways[set].contains(&line)
+        self.find_way(self.set_base(line), line).is_some()
+    }
+
+    /// One-walk combination of [`probe`](Self::probe) and
+    /// [`fill`](Self::fill): refreshes recency and reports `None` if the
+    /// line is resident, otherwise installs it as MRU in the same set walk
+    /// and reports `Some(evicted)`. This is the hierarchy's per-miss entry
+    /// point — it halves the set scans of a probe-then-fill pair, and is
+    /// state-equivalent as long as nothing else touches this cache level
+    /// between the lookup and the fill (which is the case in the
+    /// hierarchy: prefetches only touch the L2, demand fills only follow
+    /// their own lookup).
+    #[inline]
+    pub fn probe_else_fill(&mut self, addr: u64) -> Option<Option<u64>> {
+        let line = self.line_addr(addr);
+        let base = self.set_base(line);
+        // Pass 1: residency. A tight tags-only scan — the hit case (the
+        // overwhelming majority of walks) never touches the stamp array.
+        if let Some(way) = self.find_way(base, line) {
+            self.stamps[base + way] = self.next_tick();
+            return None;
+        }
+        // Pass 2 (miss only): pick an empty way, else the least-recent.
+        let victim = self.victim_way(base);
+        let old = self.tags[base + victim];
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.next_tick();
+        Some((old != EMPTY).then_some(old))
+    }
+
+    /// Inserts a line the caller knows is absent (a just-missed probe) as
+    /// MRU, returning the evicted line address if the set was full. Skips
+    /// the residency re-check [`fill`](Self::fill) pays.
+    #[inline]
+    pub fn fill_absent(&mut self, addr: u64) -> Option<u64> {
+        let line = self.line_addr(addr);
+        let base = self.set_base(line);
+        debug_assert!(self.find_way(base, line).is_none(), "line already resident");
+        let victim = self.victim_way(base);
+        let old = self.tags[base + victim];
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.next_tick();
+        (old != EMPTY).then_some(old)
     }
 
     /// Inserts the line containing `addr` as MRU, returning the evicted line
@@ -86,39 +247,37 @@ impl Cache {
     /// refreshes its LRU position.
     pub fn fill(&mut self, addr: u64) -> Option<u64> {
         let line = self.line_addr(addr);
-        let set = self.set_index(line);
-        let assoc = self.cfg.associativity;
-        let ways = &mut self.ways[set];
-        if let Some(pos) = ways.iter().position(|&l| l == line) {
-            let l = ways.remove(pos);
-            ways.insert(0, l);
+        let base = self.set_base(line);
+        if let Some(way) = self.find_way(base, line) {
+            self.stamps[base + way] = self.next_tick();
             return None;
         }
-        let evicted = if ways.len() == assoc { ways.pop() } else { None };
-        ways.insert(0, line);
-        evicted
+        self.fill_absent(addr)
     }
 
     /// Removes a specific line if resident.
     pub fn invalidate(&mut self, addr: u64) {
         let line = self.line_addr(addr);
-        let set = self.set_index(line);
-        self.ways[set].retain(|&l| l != line);
+        let base = self.set_base(line);
+        if let Some(way) = self.find_way(base, line) {
+            self.tags[base + way] = EMPTY;
+            self.stamps[base + way] = 0;
+        }
     }
 
     /// Empties the cache (keeps statistics).
     pub fn flush(&mut self) {
-        for set in &mut self.ways {
-            set.clear();
-        }
+        self.tags.fill(EMPTY);
+        self.stamps.fill(0);
     }
 
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.ways.iter().map(|w| w.len()).sum()
+        self.tags.iter().filter(|&&t| t != EMPTY).count()
     }
 
-    /// Counters accumulated so far.
+    /// Counters accumulated so far (only tracked through
+    /// [`access`](Self::access); the hierarchy counts at its own level).
     pub fn stats(&self) -> &CacheLevelStats {
         &self.stats
     }
@@ -179,6 +338,15 @@ mod tests {
     }
 
     #[test]
+    fn fill_refreshes_lru_position_of_resident_line() {
+        let mut c = small_cache(2, 1);
+        c.fill(0);
+        c.fill(64); // order (MRU→LRU): 64, 0
+        c.fill(0); // refresh: 0, 64
+        assert_eq!(c.fill(128), Some(64));
+    }
+
+    #[test]
     fn invalidate_and_flush() {
         let mut c = small_cache(4, 2);
         c.fill(0);
@@ -191,12 +359,88 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_preserves_lru_order_of_survivors() {
+        let mut c = small_cache(4, 1);
+        for line in [0u64, 64, 128, 192] {
+            c.fill(line);
+        }
+        // Order (MRU→LRU): 192, 128, 64, 0. Drop 128 from the middle.
+        c.invalidate(128);
+        // Set has a free way; next fill evicts nothing.
+        assert_eq!(c.fill(256), None);
+        // Now full with order: 256, 192, 64, 0 — filling evicts 0, then 64.
+        assert_eq!(c.fill(320), Some(0));
+        assert_eq!(c.fill(384), Some(64));
+    }
+
+    #[test]
+    fn probe_refreshes_recency_without_counting() {
+        let mut c = small_cache(2, 1);
+        c.fill(0);
+        c.fill(64);
+        assert!(c.probe(0)); // 0 becomes MRU, 64 LRU
+        assert!(!c.probe(128));
+        assert_eq!(c.stats().requests, 0);
+        assert_eq!(c.fill_absent(128), Some(64));
+    }
+
+    #[test]
     fn addresses_map_to_distinct_sets() {
         let c = small_cache(1, 8);
         // Lines 0..8 should map to 8 distinct sets.
         let sets: std::collections::HashSet<usize> =
-            (0..8u64).map(|i| c.set_index(i * 64)).collect();
+            (0..8u64).map(|i| c.set_base(i * 64)).collect();
         assert_eq!(sets.len(), 8);
+    }
+
+    /// Reference model: the seed's `Vec<Vec<u64>>` MRU-ordered cache. The
+    /// flat-array implementation must match it decision-for-decision.
+    struct VecCache {
+        sets: usize,
+        assoc: usize,
+        ways: Vec<Vec<u64>>,
+    }
+
+    impl VecCache {
+        fn new(assoc: usize, sets: usize) -> Self {
+            VecCache {
+                sets,
+                assoc,
+                ways: vec![Vec::new(); sets],
+            }
+        }
+        fn set(&mut self, line: u64) -> &mut Vec<u64> {
+            let s = ((line / 64) % self.sets as u64) as usize;
+            &mut self.ways[s]
+        }
+        fn access(&mut self, addr: u64) -> bool {
+            let line = addr & !63;
+            let ways = self.set(line);
+            if let Some(pos) = ways.iter().position(|&l| l == line) {
+                let l = ways.remove(pos);
+                ways.insert(0, l);
+                true
+            } else {
+                false
+            }
+        }
+        fn fill(&mut self, addr: u64) -> Option<u64> {
+            let line = addr & !63;
+            let assoc = self.assoc;
+            let ways = self.set(line);
+            if let Some(pos) = ways.iter().position(|&l| l == line) {
+                let l = ways.remove(pos);
+                ways.insert(0, l);
+                return None;
+            }
+            let evicted = if ways.len() == assoc { ways.pop() } else { None };
+            ways.insert(0, line);
+            evicted
+        }
+        fn invalidate(&mut self, addr: u64) {
+            let line = addr & !63;
+            self.set(line).retain(|&l| l != line);
+        }
     }
 
     proptest! {
@@ -205,7 +449,7 @@ mod tests {
             let mut c = small_cache(4, 8);
             for a in addrs {
                 if !c.access(a) {
-                    c.fill(a);
+                    c.fill_absent(a);
                 }
                 prop_assert!(c.resident_lines() <= 4 * 8);
             }
@@ -220,6 +464,34 @@ mod tests {
                 prop_assert_eq!(resident, hit);
                 if !hit {
                     c.fill(a);
+                }
+            }
+        }
+
+        /// Bit-identical replacement vs. the seed's Vec<Vec<u64>> model
+        /// under an arbitrary interleaving of accesses, fills and
+        /// invalidations.
+        #[test]
+        fn flat_tags_match_vec_of_vecs_reference(
+            ops in proptest::collection::vec((0u64..4_096, 0u8..8), 1..600),
+        ) {
+            let mut flat = small_cache(4, 4);
+            let mut reference = VecCache::new(4, 4);
+            for (addr, op) in ops {
+                match op {
+                    // Bias towards the demand pattern: access, fill on miss.
+                    0..=4 => {
+                        let hit = flat.access(addr);
+                        prop_assert_eq!(hit, reference.access(addr));
+                        if !hit {
+                            prop_assert_eq!(flat.fill_absent(addr), reference.fill(addr));
+                        }
+                    }
+                    5..=6 => prop_assert_eq!(flat.fill(addr), reference.fill(addr)),
+                    _ => {
+                        flat.invalidate(addr);
+                        reference.invalidate(addr);
+                    }
                 }
             }
         }

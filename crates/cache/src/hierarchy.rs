@@ -10,12 +10,38 @@
 //!   the same backend, so prefetched lines arrive early and demand misses on
 //!   them only pay the residual latency,
 //! * accumulates the per-level request/miss counters reported in Figure 8.
-
-use std::collections::HashMap;
+//!
+//! # Line-resident fast path
+//!
+//! Row scans touch several fields of the same 64-byte line back to back, so
+//! the overwhelmingly common case is "the line I touched an instant ago".
+//! The hierarchy remembers the last line it made MRU in the L1; a repeat
+//! touch of that line short-circuits the set walk, the prefetcher (only
+//! trained on misses) and the pending-fill probe, charging the L1 hit
+//! latency and bumping the same counters the full walk would. Because the
+//! line is by construction still the MRU way of its set, skipping the LRU
+//! update is state-identical too — the fast path cannot be observed in
+//! timing or statistics, only in wall-clock speed. `set_fast_path(false)`
+//! disables it; the equivalence tests in `relmem-core` and this crate run
+//! both configurations against each other.
+//!
+//! # Hot-path data structures
+//!
+//! In-flight fill completions (the MSHR occupancy model) live in a
+//! fixed-capacity [`MissSlots`] pool sized to the core's
+//! miss-status-holding-register count — a handful of `SimTime`s scanned in
+//! registers, instead of the seed's unbounded `Vec` with an `O(n)`
+//! `retain` plus `min_by_key` per miss. Pending prefetch arrivals live in
+//! an open-addressed [`LineMap`] keyed by line address, and are removed
+//! the moment their line is evicted from the L2, so a later refill of the
+//! same line can never read a stale arrival time (the seed implementation
+//! let such entries linger until a threshold purge, over-counting
+//! `prefetch_hits`).
 
 use relmem_sim::{PlatformConfig, SimTime};
 
 use crate::cache::Cache;
+use crate::linemap::LineMap;
 use crate::prefetch::StreamPrefetcher;
 use crate::stats::HierarchyStats;
 
@@ -68,6 +94,77 @@ impl<T: MemoryBackend + ?Sized> MemoryBackend for &mut T {
     }
 }
 
+/// Sentinel for "no MRU line cached" (never a valid line address).
+const NO_LINE: u64 = u64::MAX;
+
+/// Fixed-capacity pool of in-flight fill completion times (the MSHR
+/// model). Capacity is the configured `max_outstanding_misses` — small on
+/// every real core — so membership, expiry and earliest-slot queries are
+/// plain unordered scans over a few machine words.
+#[derive(Debug, Clone)]
+struct MissSlots {
+    completions: Vec<SimTime>,
+    len: usize,
+}
+
+impl MissSlots {
+    fn new(capacity: usize) -> Self {
+        MissSlots {
+            completions: vec![SimTime::ZERO; capacity],
+            len: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Drops every completion at or before `now`.
+    #[inline]
+    fn expire(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.len {
+            if self.completions[i] <= now {
+                self.len -= 1;
+                self.completions.swap(i, self.len);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Whether a new fill can issue without waiting.
+    #[inline]
+    fn has_free_slot(&self) -> bool {
+        self.len < self.completions.len()
+    }
+
+    /// Removes and returns the earliest completion.
+    #[inline]
+    fn take_earliest(&mut self) -> SimTime {
+        debug_assert!(self.len > 0);
+        let mut idx = 0;
+        let mut earliest = self.completions[0];
+        for (i, &t) in self.completions[1..self.len].iter().enumerate() {
+            if t < earliest {
+                earliest = t;
+                idx = i + 1;
+            }
+        }
+        self.len -= 1;
+        self.completions.swap(idx, self.len);
+        earliest
+    }
+
+    /// Records a fill in flight until `completion`.
+    #[inline]
+    fn record(&mut self, completion: SimTime) {
+        debug_assert!(self.len < self.completions.len());
+        self.completions[self.len] = completion;
+        self.len += 1;
+    }
+}
+
 /// The modelled two-level cache hierarchy of one core.
 #[derive(Debug, Clone)]
 pub struct CacheHierarchy {
@@ -75,18 +172,23 @@ pub struct CacheHierarchy {
     l2: Cache,
     prefetcher: StreamPrefetcher,
     /// Lines whose fill is still in flight (typically prefetches), mapped to
-    /// their arrival time at L2.
-    pending: HashMap<u64, SimTime>,
-    /// Completion times of fills currently in flight. The length of this
-    /// list is capped at the core's miss-status-holding-register count,
-    /// which is what limits how much DRAM bandwidth a single in-order core
-    /// can extract — a first-order effect in the paper's comparison against
-    /// the RME's sixteen outstanding PL-side transactions.
-    inflight: Vec<SimTime>,
-    max_outstanding: usize,
+    /// their arrival time at L2. Entries are dropped when the line leaves
+    /// the L2 so they can never serve a stale arrival to a later refill.
+    pending: LineMap,
+    /// Completion times of fills currently in flight. The pool's capacity
+    /// is the core's miss-status-holding-register count, which is what
+    /// limits how much DRAM bandwidth a single in-order core can extract —
+    /// a first-order effect in the paper's comparison against the RME's
+    /// sixteen outstanding PL-side transactions.
+    inflight: MissSlots,
     l1_hit: SimTime,
     l2_hit: SimTime,
     line_bytes: u64,
+    /// The last line made MRU in the L1, or [`NO_LINE`].
+    mru_line: u64,
+    /// Whether the line-resident fast path is enabled (it always is outside
+    /// of equivalence tests).
+    fast_path: bool,
     stats: HierarchyStats,
 }
 
@@ -102,12 +204,13 @@ impl CacheHierarchy {
                 cfg.prefetch_streams,
                 cfg.prefetch_degree,
             ),
-            pending: HashMap::new(),
-            inflight: Vec::new(),
-            max_outstanding: cfg.cpu.max_outstanding_misses.max(1),
+            pending: LineMap::new(),
+            inflight: MissSlots::new(cfg.cpu.max_outstanding_misses.max(1)),
             l1_hit: cpu.cycles(cfg.l1.hit_latency_cycles),
             l2_hit: cpu.cycles(cfg.l2.hit_latency_cycles),
             line_bytes: cfg.line_bytes() as u64,
+            mru_line: NO_LINE,
+            fast_path: true,
             stats: HierarchyStats::default(),
         }
     }
@@ -127,6 +230,22 @@ impl CacheHierarchy {
         self.stats = HierarchyStats::default();
     }
 
+    /// Enables or disables the line-resident fast path. Timing and
+    /// statistics are identical either way (asserted by the cross-path
+    /// equivalence tests); disabling exists so tests and benchmarks can
+    /// compare against the full walk.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+        if !enabled {
+            self.mru_line = NO_LINE;
+        }
+    }
+
+    /// Number of pending (in-flight prefetch) fills currently tracked.
+    pub fn pending_fills(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Flushes both cache levels, forgets prefetch streams and in-flight
     /// fills. Used to make "cold" measurements.
     pub fn flush(&mut self) {
@@ -135,34 +254,30 @@ impl CacheHierarchy {
         self.prefetcher.reset();
         self.pending.clear();
         self.inflight.clear();
+        self.mru_line = NO_LINE;
     }
 
     /// Books a miss-status slot for a fill issued at `ready`: if every slot
     /// is occupied, the issue is delayed until the earliest in-flight fill
-    /// returns. Records the fill's own completion and returns the possibly
-    /// delayed issue time.
+    /// returns. Returns the possibly delayed issue time.
+    #[inline]
     fn book_miss_slot(&mut self, ready: SimTime, now: SimTime) -> SimTime {
-        self.inflight.retain(|&t| t > now);
-        if self.inflight.len() < self.max_outstanding {
+        self.inflight.expire(now);
+        if self.inflight.has_free_slot() {
             return ready;
         }
-        let (idx, &earliest) = self
-            .inflight
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .expect("inflight is non-empty");
-        self.inflight.swap_remove(idx);
-        ready.max(earliest)
+        ready.max(self.inflight.take_earliest())
     }
 
+    #[inline]
     fn record_inflight(&mut self, completion: SimTime) {
-        self.inflight.push(completion);
+        self.inflight.record(completion);
     }
 
     /// Performs a CPU read of `bytes` bytes at `addr`, issued at `now`, and
     /// returns when the data is available. Accesses that straddle a line
     /// boundary touch both lines.
+    #[inline]
     pub fn access<B: MemoryBackend>(
         &mut self,
         addr: u64,
@@ -172,6 +287,9 @@ impl CacheHierarchy {
     ) -> AccessOutcome {
         let first_line = addr & !(self.line_bytes - 1);
         let last_line = (addr + bytes.max(1) as u64 - 1) & !(self.line_bytes - 1);
+        if first_line == last_line {
+            return self.access_line(first_line, now, backend);
+        }
         let mut completion = now;
         let mut level = HitLevel::L1;
         let mut line = first_line;
@@ -199,59 +317,90 @@ impl CacheHierarchy {
         self.access(addr, bytes, now, backend)
     }
 
+    #[inline]
     fn access_line<B: MemoryBackend>(
         &mut self,
         line: u64,
         now: SimTime,
         backend: &mut B,
     ) -> AccessOutcome {
-        self.stats.l1.requests += 1;
-        if self.l1.access(line) {
+        // Fast path: a repeat touch of the line most recently made MRU in
+        // the L1. It is guaranteed resident and already rank-0 in its set,
+        // so the full walk would change no cache state; count the same L1
+        // request + hit and charge the same latency.
+        if line == self.mru_line {
+            self.stats.l1.requests += 1;
             self.stats.l1.hits += 1;
             return AccessOutcome {
                 completion: now + self.l1_hit,
                 level: HitLevel::L1,
             };
         }
+
+        // L1 lookup, fused with the (inevitable on a miss) MRU fill into a
+        // single set walk. Nothing between the demand lookup and the fill
+        // can touch the L1 — prefetches only go to the L2 — so installing
+        // the line up front is state-equivalent to the seed's
+        // lookup-then-fill ordering.
+        self.stats.l1.requests += 1;
+        if self.l1.probe_else_fill(line).is_none() {
+            self.stats.l1.hits += 1;
+            self.note_mru(line);
+            return AccessOutcome {
+                completion: now + self.l1_hit,
+                level: HitLevel::L1,
+            };
+        }
         self.stats.l1.misses += 1;
+        self.note_mru(line);
 
         // Train the prefetcher on the L1 miss stream and issue its requests.
         let decision = self.prefetcher.train(line);
-        for pline in decision.prefetch_lines {
+        for pline in decision.lines() {
             self.issue_prefetch(pline, now, backend);
         }
-        if self.pending.len() > 4096 {
-            self.pending.retain(|_, arrival| *arrival > now);
-        }
 
-        // L2 lookup.
+        // L2 lookup, same single-walk fusion (the backend fill between the
+        // seed's lookup and fill never reads the L2).
         self.stats.l2.requests += 1;
         let l2_lookup_done = now + self.l1_hit + self.l2_hit;
-        if self.l2.access(line) {
-            self.stats.l2.hits += 1;
-            // The line may still be in flight if it was prefetched recently.
-            let arrival = self.pending.remove(&line).unwrap_or(SimTime::ZERO);
-            if !arrival.is_zero() {
-                self.stats.prefetch_hits += 1;
+        match self.l2.probe_else_fill(line) {
+            None => {
+                self.stats.l2.hits += 1;
+                // The line may still be in flight if it was prefetched
+                // recently.
+                let arrival = self.pending.remove(line).unwrap_or(SimTime::ZERO);
+                if !arrival.is_zero() {
+                    self.stats.prefetch_hits += 1;
+                }
+                AccessOutcome {
+                    completion: l2_lookup_done.max(arrival),
+                    level: HitLevel::L2,
+                }
             }
-            self.l1.fill(line);
-            return AccessOutcome {
-                completion: l2_lookup_done.max(arrival),
-                level: HitLevel::L2,
-            };
+            Some(evicted) => {
+                self.stats.l2.misses += 1;
+                if let Some(evicted) = evicted {
+                    self.pending.remove(evicted);
+                }
+                // Demand fill from the backend, subject to the
+                // outstanding-miss cap.
+                self.stats.backend_fills += 1;
+                let issue = self.book_miss_slot(now + self.l1_hit + self.l2_hit, now);
+                let arrival = backend.fill_line(line, issue);
+                self.record_inflight(arrival);
+                AccessOutcome {
+                    completion: arrival.max(l2_lookup_done),
+                    level: HitLevel::Memory,
+                }
+            }
         }
-        self.stats.l2.misses += 1;
+    }
 
-        // Demand fill from the backend, subject to the outstanding-miss cap.
-        self.stats.backend_fills += 1;
-        let issue = self.book_miss_slot(now + self.l1_hit + self.l2_hit, now);
-        let arrival = backend.fill_line(line, issue);
-        self.record_inflight(arrival);
-        self.l2.fill(line);
-        self.l1.fill(line);
-        AccessOutcome {
-            completion: arrival.max(l2_lookup_done),
-            level: HitLevel::Memory,
+    #[inline]
+    fn note_mru(&mut self, line: u64) {
+        if self.fast_path {
+            self.mru_line = line;
         }
     }
 
@@ -262,17 +411,22 @@ impl CacheHierarchy {
         // Prefetches that would hit in L2 are dropped (they count as L2
         // lookups, which is what inflates the L2 request counts in Fig. 8).
         self.stats.l2.requests += 1;
-        if self.l2.access(line) {
-            self.stats.l2.hits += 1;
-            return;
-        }
+        let evicted = match self.l2.probe_else_fill(line) {
+            None => {
+                self.stats.l2.hits += 1;
+                return;
+            }
+            Some(evicted) => evicted,
+        };
         self.stats.l2.misses += 1;
+        if let Some(evicted) = evicted {
+            self.pending.remove(evicted);
+        }
         self.stats.prefetches_issued += 1;
         self.stats.backend_fills += 1;
         let issue = self.book_miss_slot(now, now);
         let arrival = backend.fill_line(line, issue);
         self.record_inflight(arrival);
-        self.l2.fill(line);
         self.pending.insert(line, arrival);
     }
 }
@@ -305,6 +459,7 @@ impl MemoryBackend for FixedLatencyBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn cfg() -> PlatformConfig {
         PlatformConfig::tiny_for_tests()
@@ -423,5 +578,107 @@ mod tests {
         assert!(s.backend_fills > 0);
         h.reset_stats();
         assert_eq!(h.stats().l1.requests, 0);
+    }
+
+    #[test]
+    fn repeat_touches_use_the_fast_path_with_identical_outcome() {
+        let mut fast = CacheHierarchy::new(&cfg());
+        let mut full = CacheHierarchy::new(&cfg());
+        full.set_fast_path(false);
+        let mut mem_a = FixedLatencyBackend::new(ns(80));
+        let mut mem_b = FixedLatencyBackend::new(ns(80));
+        let mut now_a = SimTime::ZERO;
+        let mut now_b = SimTime::ZERO;
+        // Field-by-field row scan: 4 touches per 64-byte line.
+        for field in 0..4_000u64 {
+            let addr = field * 16;
+            let a = fast.access(addr, 8, now_a, &mut mem_a);
+            let b = full.access(addr, 8, now_b, &mut mem_b);
+            assert_eq!(a, b, "outcome diverged at field {field}");
+            now_a = a.completion;
+            now_b = b.completion;
+        }
+        assert_eq!(fast.stats(), full.stats());
+        assert_eq!(mem_a.fills, mem_b.fills);
+    }
+
+    /// Regression test for the stale pending-fill leak: a prefetched line
+    /// that is evicted from the L2 and later refilled must not report a
+    /// phantom prefetch hit from its old arrival entry.
+    #[test]
+    fn evicted_prefetch_entries_cannot_go_stale() {
+        let cfg = cfg(); // L2: 8 KB, 16-way, 8 sets
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut mem = FixedLatencyBackend::new(ns(100));
+        let mut now = SimTime::ZERO;
+
+        // Establish a sequential stream so lines ahead get prefetched into
+        // the L2 with pending arrival entries.
+        for i in 0..4u64 {
+            now = h.access(i * 64, 8, now, &mut mem).completion;
+        }
+        assert!(h.pending_fills() > 0, "prefetches should be pending");
+        // Pick a prefetched-but-never-demanded line.
+        let victim = 6 * 64u64;
+
+        // Evict it from the L2: flood its set (stride = sets * line) with
+        // 16+ distinct lines. Large stride ⇒ no new prefetcher streams.
+        let set_stride = 8 * 64u64;
+        for i in 1..=17u64 {
+            now = h.access(victim + i * set_stride, 8, now, &mut mem).completion;
+            now += ns(1);
+        }
+
+        // The victim's pending entry must have died with its L2 residency.
+        // Re-access it: a clean L2/memory path with no phantom prefetch hit.
+        let out = h.access(victim, 8, now, &mut mem);
+        assert_eq!(out.level, HitLevel::Memory, "victim was evicted from L2");
+        // …and a subsequent L1 eviction + L2 hit must not see a stale time.
+        let mut now = out.completion;
+        let l1_set_stride = 4 * 64u64; // L1: 1 KB, 4-way, 4 sets
+        for i in 1..=5u64 {
+            now = h.access(victim + i * l1_set_stride, 8, now, &mut mem).completion;
+        }
+        let before = h.stats().prefetch_hits;
+        let again = h.access(victim, 8, now, &mut mem);
+        assert_eq!(again.level, HitLevel::L2);
+        assert_eq!(
+            h.stats().prefetch_hits,
+            before,
+            "stale pending entry produced a phantom prefetch hit"
+        );
+        assert_eq!(again.completion, now + h.l1_hit + h.l2_hit);
+    }
+
+    proptest! {
+        /// The fast path must be unobservable: arbitrary access sequences
+        /// (with heavy same-line repetition) produce identical timing,
+        /// levels, statistics and backend traffic with and without it.
+        #[test]
+        fn fast_path_is_timing_and_stats_identical(
+            ops in proptest::collection::vec((0u64..2_000, 1usize..=16, any::<bool>()), 1..800),
+        ) {
+            let mut fast = CacheHierarchy::new(&cfg());
+            let mut full = CacheHierarchy::new(&cfg());
+            full.set_fast_path(false);
+            let mut mem_a = FixedLatencyBackend::new(ns(90));
+            let mut mem_b = FixedLatencyBackend::new(ns(90));
+            let mut now_a = SimTime::ZERO;
+            let mut now_b = SimTime::ZERO;
+            let mut last = 0u64;
+            for (addr, bytes, repeat) in ops {
+                // Half the ops re-touch the previous address: the scan
+                // pattern the fast path exists for.
+                let addr = if repeat { last } else { addr };
+                last = addr;
+                let a = fast.access(addr, bytes, now_a, &mut mem_a);
+                let b = full.access(addr, bytes, now_b, &mut mem_b);
+                prop_assert_eq!(a, b);
+                now_a = a.completion;
+                now_b = b.completion;
+            }
+            prop_assert_eq!(fast.stats(), full.stats());
+            prop_assert_eq!(mem_a.fills, mem_b.fills);
+        }
     }
 }

@@ -18,6 +18,7 @@
 
 pub mod cache;
 pub mod hierarchy;
+mod linemap;
 pub mod prefetch;
 pub mod stats;
 

@@ -1,0 +1,196 @@
+//! A flat open-addressed map from cache-line addresses to arrival times.
+//!
+//! Replaces the `HashMap<u64, SimTime>` that tracked in-flight prefetch
+//! fills in the hot path of [`CacheHierarchy`](crate::CacheHierarchy). The
+//! table is a power-of-two slot array probed linearly with a
+//! multiply-shift hash — no SipHash, no per-entry allocation, and removal
+//! uses backward-shift deletion so there are no tombstones to skip over.
+//! Because the hierarchy now removes entries when their line leaves the L2
+//! (see `hierarchy.rs`), occupancy is bounded by L2 residency; the map
+//! still grows by doubling if a configuration ever exceeds that.
+
+use relmem_sim::SimTime;
+
+/// Sentinel for a free slot. Line addresses are line-aligned, so
+/// `u64::MAX` never collides with a real key.
+const FREE: u64 = u64::MAX;
+
+/// Minimum table size (slots); power of two.
+const MIN_CAPACITY: usize = 1024;
+
+/// Open-addressed `line address → SimTime` map with linear probing.
+#[derive(Debug, Clone)]
+pub(crate) struct LineMap {
+    keys: Vec<u64>,
+    values: Vec<SimTime>,
+    len: usize,
+    mask: usize,
+}
+
+impl LineMap {
+    pub(crate) fn new() -> Self {
+        LineMap {
+            keys: vec![FREE; MIN_CAPACITY],
+            values: vec![SimTime::ZERO; MIN_CAPACITY],
+            len: 0,
+            mask: MIN_CAPACITY - 1,
+        }
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        // Fibonacci hashing on the line number; lines differ in the low
+        // bits once the 6-bit offset is dropped.
+        let h = (key >> 6).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & self.mask
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.keys.fill(FREE);
+        self.len = 0;
+    }
+
+    /// Inserts or overwrites.
+    pub(crate) fn insert(&mut self, key: u64, value: SimTime) {
+        debug_assert_ne!(key, FREE);
+        let mut slot = self.home(key);
+        loop {
+            match self.keys[slot] {
+                FREE => break,
+                k if k == key => {
+                    self.values[slot] = value;
+                    return;
+                }
+                _ => slot = (slot + 1) & self.mask,
+            }
+        }
+        // A new entry: keep the load factor below 7/8 so probe chains stay
+        // short (growing only here means overwrites never trigger a rehash).
+        if (self.len + 1) * 8 > self.keys.len() * 7 {
+            self.grow();
+            slot = self.home(key);
+            while self.keys[slot] != FREE {
+                slot = (slot + 1) & self.mask;
+            }
+        }
+        self.keys[slot] = key;
+        self.values[slot] = value;
+        self.len += 1;
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub(crate) fn remove(&mut self, key: u64) -> Option<SimTime> {
+        let mut slot = self.home(key);
+        loop {
+            match self.keys[slot] {
+                FREE => return None,
+                k if k == key => break,
+                _ => slot = (slot + 1) & self.mask,
+            }
+        }
+        let value = self.values[slot];
+        self.len -= 1;
+        // Backward-shift deletion: pull displaced entries over the hole so
+        // every surviving entry stays reachable from its home slot.
+        let mut hole = slot;
+        let mut probe = (slot + 1) & self.mask;
+        while self.keys[probe] != FREE {
+            let home = self.home(self.keys[probe]);
+            // `probe` may move into `hole` iff its home lies outside the
+            // (cyclic) interval (hole, probe].
+            let displaced = (probe.wrapping_sub(home)) & self.mask;
+            let distance = (probe.wrapping_sub(hole)) & self.mask;
+            if displaced >= distance {
+                self.keys[hole] = self.keys[probe];
+                self.values[hole] = self.values[probe];
+                self.keys[probe] = FREE;
+                hole = probe;
+            }
+            probe = (probe + 1) & self.mask;
+        }
+        self.keys[hole] = FREE;
+        Some(value)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![FREE; new_cap]);
+        let old_values = std::mem::replace(&mut self.values, vec![SimTime::ZERO; new_cap]);
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_values) {
+            if k != FREE {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn insert_overwrite_remove() {
+        let mut m = LineMap::new();
+        m.insert(64, t(1));
+        m.insert(128, t(2));
+        m.insert(64, t(3));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(64), Some(t(3)));
+        assert_eq!(m.remove(64), None);
+        assert_eq!(m.remove(4096), None);
+        assert_eq!(m.remove(128), Some(t(2)));
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m = LineMap::new();
+        for i in 0..10_000u64 {
+            m.insert(i * 64, t(i));
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in (0..10_000u64).rev() {
+            assert_eq!(m.remove(i * 64), Some(t(i)));
+        }
+    }
+
+    proptest! {
+        /// Interleaved inserts/removes agree with std's HashMap, including
+        /// under heavy same-slot collision pressure (keys spanning a small
+        /// line range collide after the multiply-shift).
+        #[test]
+        fn matches_hashmap_reference(
+            ops in proptest::collection::vec((0u64..512, any::<bool>(), 0u64..1_000), 1..2_000),
+        ) {
+            let mut map = LineMap::new();
+            let mut reference: HashMap<u64, SimTime> = HashMap::new();
+            for (line, is_insert, val) in ops {
+                let key = line * 64;
+                if is_insert {
+                    map.insert(key, t(val));
+                    reference.insert(key, t(val));
+                } else {
+                    prop_assert_eq!(map.remove(key), reference.remove(&key));
+                }
+                prop_assert_eq!(map.len(), reference.len());
+            }
+            // Drain: every surviving key must be found with its value.
+            for (k, v) in reference {
+                prop_assert_eq!(map.remove(k), Some(v));
+            }
+            prop_assert_eq!(map.len(), 0);
+        }
+    }
+}

@@ -11,12 +11,47 @@
 use std::collections::VecDeque;
 
 /// Outcome of training the prefetcher with one demand access.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Prefetch targets are always a contiguous run of lines, so the decision
+/// stores the run as `(first_line_number, count)` instead of materialising
+/// a `Vec<u64>` — training happens on every L1 miss, and the allocation was
+/// one of the simulator's hottest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PrefetchDecision {
-    /// Line addresses that should be prefetched now.
-    pub prefetch_lines: Vec<u64>,
+    /// First line *number* (address / line size) to prefetch.
+    first_line: u64,
+    /// Number of consecutive lines to prefetch.
+    count: u64,
+    /// Line size, to turn line numbers back into addresses.
+    line_bytes: u64,
     /// Whether the access continued an established stream.
     pub stream_hit: bool,
+}
+
+impl PrefetchDecision {
+    fn run(first_line: u64, count: u64, line_bytes: u64, stream_hit: bool) -> Self {
+        PrefetchDecision {
+            first_line,
+            count,
+            line_bytes,
+            stream_hit,
+        }
+    }
+
+    /// Number of lines to prefetch.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether there is nothing to prefetch.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The line *addresses* to prefetch, in ascending order.
+    pub fn lines(self) -> impl Iterator<Item = u64> {
+        (self.first_line..self.first_line + self.count).map(move |l| l * self.line_bytes)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -33,6 +68,7 @@ struct Stream {
 #[derive(Debug, Clone)]
 pub struct StreamPrefetcher {
     line_bytes: u64,
+    line_shift: u32,
     max_streams: usize,
     degree: usize,
     streams: Vec<Stream>,
@@ -53,6 +89,7 @@ impl StreamPrefetcher {
         assert!(line_bytes.is_power_of_two());
         StreamPrefetcher {
             line_bytes: line_bytes as u64,
+            line_shift: line_bytes.trailing_zeros(),
             max_streams,
             degree,
             streams: Vec::new(),
@@ -91,7 +128,7 @@ impl StreamPrefetcher {
             return PrefetchDecision::default();
         }
         self.tick += 1;
-        let line = addr / self.line_bytes;
+        let line = addr >> self.line_shift;
 
         // Continuation of an existing stream? Allow the demand pointer to be
         // anywhere between the stream head and its prefetch horizon.
@@ -104,19 +141,14 @@ impl StreamPrefetcher {
             stream.touched = self.tick;
             let target = line + degree;
             let from = stream.last_prefetched + 1;
-            let mut lines = Vec::new();
+            let mut count = 0;
             if target >= from {
-                for l in from..=target {
-                    lines.push(l * self.line_bytes);
-                }
+                count = target - from + 1;
                 stream.last_prefetched = target;
             }
-            self.issued += lines.len() as u64;
+            self.issued += count;
             self.stream_hits += 1;
-            return PrefetchDecision {
-                prefetch_lines: lines,
-                stream_hit: true,
-            };
+            return PrefetchDecision::run(from, count, self.line_bytes, true);
         }
 
         // New stream detection: this line follows a recently missed line.
@@ -141,19 +173,13 @@ impl StreamPrefetcher {
         }
         let degree = self.degree as u64;
         let last_prefetched = line + degree;
-        let lines: Vec<u64> = (line + 1..=last_prefetched)
-            .map(|l| l * self.line_bytes)
-            .collect();
-        self.issued += lines.len() as u64;
+        self.issued += degree;
         self.streams.push(Stream {
             last_demand: line,
             last_prefetched,
             touched: self.tick,
         });
-        PrefetchDecision {
-            prefetch_lines: lines,
-            stream_hit: false,
-        }
+        PrefetchDecision::run(line + 1, degree, self.line_bytes, false)
     }
 
     fn remember(&mut self, line: u64) {
@@ -174,7 +200,7 @@ mod tests {
         let mut prefetched = 0;
         for i in 0..n {
             let d = pf.train((start_line + i) * LINE);
-            prefetched += d.prefetch_lines.len() as u64;
+            prefetched += d.len() as u64;
         }
         prefetched
     }
@@ -183,14 +209,14 @@ mod tests {
     fn sequential_stream_is_detected_and_prefetched() {
         let mut pf = StreamPrefetcher::new(64, 4, 4);
         // First access: nothing known yet.
-        assert!(pf.train(0).prefetch_lines.is_empty());
+        assert!(pf.train(0).is_empty());
         // Second sequential access allocates a stream and prefetches ahead.
         let d = pf.train(64);
-        assert_eq!(d.prefetch_lines, vec![128, 192, 256, 320]);
+        assert_eq!(d.lines().collect::<Vec<_>>(), vec![128, 192, 256, 320]);
         // Third access continues the stream one line further.
         let d = pf.train(128);
         assert!(d.stream_hit);
-        assert_eq!(d.prefetch_lines, vec![384]);
+        assert_eq!(d.lines().collect::<Vec<_>>(), vec![384]);
         assert_eq!(pf.active_streams(), 1);
     }
 
@@ -198,7 +224,7 @@ mod tests {
     fn random_accesses_do_not_prefetch() {
         let mut pf = StreamPrefetcher::new(64, 4, 4);
         for addr in [0u64, 1024, 8192, 640, 70_000] {
-            assert!(pf.train(addr).prefetch_lines.is_empty());
+            assert!(pf.train(addr).is_empty());
         }
         assert_eq!(pf.issued(), 0);
     }
@@ -231,7 +257,7 @@ mod tests {
         for i in 2..20u64 {
             let d = pf.train(i * LINE);
             assert!(d.stream_hit, "access {i} should continue the stream");
-            assert_eq!(d.prefetch_lines.len(), 1);
+            assert_eq!(d.len(), 1);
         }
     }
 
@@ -243,6 +269,6 @@ mod tests {
         pf.reset();
         assert_eq!(pf.active_streams(), 0);
         // After reset the next access is treated as cold again.
-        assert!(pf.train(10 * LINE).prefetch_lines.is_empty());
+        assert!(pf.train(10 * LINE).is_empty());
     }
 }

@@ -314,7 +314,7 @@ impl Benchmark {
         });
         let mut checksum = 0u64;
         for (&key, &(sum, count)) in &sums {
-            let avg = if count == 0 { 0 } else { sum / count };
+            let avg = sum.checked_div(count).unwrap_or(0);
             checksum = checksum_accumulate(checksum, &[key, avg]);
         }
         let output = QueryOutput::Set {

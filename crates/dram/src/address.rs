@@ -8,10 +8,21 @@
 //! exploits when it issues outstanding fetches.
 
 /// Maps physical addresses to (bank, row, column) coordinates.
+///
+/// Decoding runs once per simulated DRAM access, so the power-of-two
+/// geometries every real configuration uses are decoded with shifts and
+/// masks; arbitrary geometries (exercised by the property tests) fall back
+/// to division.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMapping {
     banks: usize,
     row_bytes: usize,
+    /// `log2(row_bytes)` when `row_bytes` is a power of two.
+    row_shift: Option<u32>,
+    /// `banks - 1` when `banks` is a power of two.
+    bank_mask: Option<u64>,
+    /// `log2(banks)` when `banks` is a power of two.
+    bank_shift: u32,
 }
 
 /// A decoded DRAM coordinate.
@@ -29,7 +40,15 @@ impl AddressMapping {
     /// Creates a mapping for `banks` banks of `row_bytes`-byte rows.
     pub fn new(banks: usize, row_bytes: usize) -> Self {
         assert!(banks >= 1 && row_bytes >= 1);
-        AddressMapping { banks, row_bytes }
+        AddressMapping {
+            banks,
+            row_bytes,
+            row_shift: row_bytes
+                .is_power_of_two()
+                .then(|| row_bytes.trailing_zeros()),
+            bank_mask: banks.is_power_of_two().then_some(banks as u64 - 1),
+            bank_shift: banks.trailing_zeros(),
+        }
     }
 
     /// Number of banks.
@@ -43,11 +62,25 @@ impl AddressMapping {
     }
 
     /// Decodes an address.
+    #[inline]
     pub fn decode(&self, addr: u64) -> DramCoord {
-        let row_global = addr / self.row_bytes as u64;
-        let column = (addr % self.row_bytes as u64) as usize;
-        let bank = (row_global % self.banks as u64) as usize;
-        let row = row_global / self.banks as u64;
+        let (row_global, column) = match self.row_shift {
+            Some(shift) => (addr >> shift, (addr & (self.row_bytes as u64 - 1)) as usize),
+            None => (
+                addr / self.row_bytes as u64,
+                (addr % self.row_bytes as u64) as usize,
+            ),
+        };
+        let (bank, row) = match self.bank_mask {
+            Some(mask) => (
+                (row_global & mask) as usize,
+                row_global >> self.bank_shift,
+            ),
+            None => (
+                (row_global % self.banks as u64) as usize,
+                row_global / self.banks as u64,
+            ),
+        };
         DramCoord { bank, row, column }
     }
 
@@ -60,17 +93,46 @@ impl AddressMapping {
 
     /// Splits a byte range `[addr, addr+len)` into per-DRAM-row chunks, so a
     /// long burst that crosses a row boundary is charged as two accesses.
-    pub fn split_by_row(&self, addr: u64, len: usize) -> Vec<(u64, usize)> {
-        let mut out = Vec::new();
-        let mut cur = addr;
-        let end = addr + len as u64;
-        while cur < end {
-            let row_end = (cur / self.row_bytes as u64 + 1) * self.row_bytes as u64;
-            let chunk_end = row_end.min(end);
-            out.push((cur, (chunk_end - cur) as usize));
-            cur = chunk_end;
+    /// Returns a lazy iterator: the common case (a cache-line fill inside
+    /// one DRAM row) allocates nothing on this per-miss path.
+    pub fn split_by_row(&self, addr: u64, len: usize) -> RowChunks {
+        RowChunks {
+            cur: addr,
+            end: addr + len as u64,
+            row_bytes: self.row_bytes as u64,
+            row_mask: self.row_shift.map(|_| self.row_bytes as u64 - 1),
         }
-        out
+    }
+}
+
+/// Iterator over the per-DRAM-row chunks of a byte range (see
+/// [`AddressMapping::split_by_row`]).
+#[derive(Debug, Clone)]
+pub struct RowChunks {
+    cur: u64,
+    end: u64,
+    row_bytes: u64,
+    /// `row_bytes - 1` when the row size is a power of two, replacing the
+    /// per-chunk division with a mask on this per-access path.
+    row_mask: Option<u64>,
+}
+
+impl Iterator for RowChunks {
+    type Item = (u64, usize);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u64, usize)> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let row_end = match self.row_mask {
+            Some(mask) => (self.cur | mask) + 1,
+            None => (self.cur / self.row_bytes + 1) * self.row_bytes,
+        };
+        let chunk_end = row_end.min(self.end);
+        let chunk = (self.cur, (chunk_end - self.cur) as usize);
+        self.cur = chunk_end;
+        Some(chunk)
     }
 }
 
@@ -103,9 +165,9 @@ mod tests {
     #[test]
     fn split_by_row_respects_boundaries() {
         let m = AddressMapping::new(2, 128);
-        let chunks = m.split_by_row(120, 20);
+        let chunks: Vec<_> = m.split_by_row(120, 20).collect();
         assert_eq!(chunks, vec![(120, 8), (128, 12)]);
-        let single = m.split_by_row(0, 64);
+        let single: Vec<_> = m.split_by_row(0, 64).collect();
         assert_eq!(single, vec![(0, 64)]);
     }
 
@@ -122,7 +184,7 @@ mod tests {
         #[test]
         fn split_covers_range_exactly(addr in 0u64..1_000_000u64, len in 1usize..10_000) {
             let m = AddressMapping::new(16, 2048);
-            let chunks = m.split_by_row(addr, len);
+            let chunks: Vec<_> = m.split_by_row(addr, len).collect();
             let total: usize = chunks.iter().map(|(_, l)| *l).sum();
             prop_assert_eq!(total, len);
             prop_assert_eq!(chunks[0].0, addr);

@@ -57,6 +57,9 @@ pub struct DramController {
     open_rows: Vec<Option<u64>>,
     banks: MultiResource,
     bus: Resource,
+    /// `log2(bus_bytes)` when the bus width is a power of two (always, in
+    /// practice): turns the per-access beat count into a shift.
+    bus_shift: Option<u32>,
     stats: DramStats,
 }
 
@@ -68,6 +71,10 @@ impl DramController {
             open_rows: vec![None; cfg.banks],
             banks: MultiResource::new("dram-banks", cfg.banks),
             bus: Resource::new("dram-bus"),
+            bus_shift: cfg
+                .bus_bytes
+                .is_power_of_two()
+                .then(|| cfg.bus_bytes.trailing_zeros()),
             mapping,
             cfg,
             stats: DramStats::default(),
@@ -129,7 +136,10 @@ impl DramController {
             let (bank_start, _) = self.banks.acquire_server(coord.bank, req.ready, occupancy);
             let data_ready = bank_start + latency;
             // Then stream the beats over the shared bus.
-            let beats = len.div_ceil(self.cfg.bus_bytes) as u64;
+            let beats = match self.bus_shift {
+                Some(shift) => ((len + self.cfg.bus_bytes - 1) >> shift) as u64,
+                None => len.div_ceil(self.cfg.bus_bytes) as u64,
+            };
             let transfer = self.cfg.beat_time * beats;
             let (_, bus_end) = self.bus.acquire(data_ready, transfer);
 

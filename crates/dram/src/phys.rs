@@ -66,11 +66,27 @@ impl PhysicalMemory {
         dst.copy_from_slice(&self.bytes[start..start + dst.len()]);
     }
 
-    /// Reads a little-endian unsigned integer of `width` ∈ {1,2,4,8} bytes.
+    /// Reads a little-endian unsigned integer of `width` ∈ 1..=8 bytes.
+    ///
+    /// Hot path of every simulated field read: when eight bytes are in
+    /// bounds this is a single unaligned load + mask; the byte-wise copy
+    /// only survives for reads at the very end of memory.
+    #[inline]
     pub fn read_uint(&self, addr: u64, width: usize) -> u64 {
-        let mut buf = [0u8; 8];
-        buf[..width].copy_from_slice(self.read(addr, width));
-        u64::from_le_bytes(buf)
+        debug_assert!(width <= 8);
+        let start = addr as usize;
+        if let Some(chunk) = self.bytes.get(start..start + 8) {
+            let value = u64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+            if width >= 8 {
+                value
+            } else {
+                value & ((1u64 << (8 * width)) - 1)
+            }
+        } else {
+            let mut buf = [0u8; 8];
+            buf[..width].copy_from_slice(self.read(addr, width));
+            u64::from_le_bytes(buf)
+        }
     }
 
     /// Writes `data` starting at `addr`.

@@ -114,7 +114,7 @@ impl ConfigPort {
             }
             o if (regs::COLUMN_WIDTH_BASE..regs::COLUMN_WIDTH_BASE + 2 * regs::MAX_COLUMNS as u64)
                 .contains(&o)
-                && (o - regs::COLUMN_WIDTH_BASE) % 2 == 0 =>
+                && (o - regs::COLUMN_WIDTH_BASE).is_multiple_of(2) =>
             {
                 let j = ((o - regs::COLUMN_WIDTH_BASE) / 2) as usize;
                 self.column_widths[j] = value as u16;
@@ -122,7 +122,7 @@ impl ConfigPort {
             o if (regs::COLUMN_OFFSET_BASE
                 ..regs::COLUMN_OFFSET_BASE + 2 * regs::MAX_COLUMNS as u64)
                 .contains(&o)
-                && (o - regs::COLUMN_OFFSET_BASE) % 2 == 0 =>
+                && (o - regs::COLUMN_OFFSET_BASE).is_multiple_of(2) =>
             {
                 let j = ((o - regs::COLUMN_OFFSET_BASE) / 2) as usize;
                 self.column_offsets[j] = value as u16;
@@ -148,14 +148,14 @@ impl ConfigPort {
             regs::EPHEMERAL_BASE_HI => (self.ephemeral_base >> 32) as u32,
             o if (regs::COLUMN_WIDTH_BASE..regs::COLUMN_WIDTH_BASE + 2 * regs::MAX_COLUMNS as u64)
                 .contains(&o)
-                && (o - regs::COLUMN_WIDTH_BASE) % 2 == 0 =>
+                && (o - regs::COLUMN_WIDTH_BASE).is_multiple_of(2) =>
             {
                 self.column_widths[((o - regs::COLUMN_WIDTH_BASE) / 2) as usize] as u32
             }
             o if (regs::COLUMN_OFFSET_BASE
                 ..regs::COLUMN_OFFSET_BASE + 2 * regs::MAX_COLUMNS as u64)
                 .contains(&o)
-                && (o - regs::COLUMN_OFFSET_BASE) % 2 == 0 =>
+                && (o - regs::COLUMN_OFFSET_BASE).is_multiple_of(2) =>
             {
                 self.column_offsets[((o - regs::COLUMN_OFFSET_BASE) / 2) as usize] as u32
             }

@@ -423,7 +423,7 @@ impl RmeEngine {
         if frame_packed == 0 {
             return;
         }
-        if frame_packed % self.line_bytes != 0 {
+        if !frame_packed.is_multiple_of(self.line_bytes) {
             let tail_line = frame_packed / self.line_bytes;
             self.monitor.buffer_mut().force_complete(tail_line, when);
         }

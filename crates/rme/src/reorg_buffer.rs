@@ -43,7 +43,7 @@ impl ReorganizationBuffer {
     /// `line_bytes` lines.
     pub fn new(capacity_bytes: usize, line_bytes: usize) -> Self {
         assert!(line_bytes.is_power_of_two());
-        assert!(capacity_bytes % line_bytes == 0 && capacity_bytes > 0);
+        assert!(capacity_bytes.is_multiple_of(line_bytes) && capacity_bytes > 0);
         let lines = capacity_bytes / line_bytes;
         ReorganizationBuffer {
             line_bytes,

@@ -117,8 +117,10 @@ mod tests {
 
     #[test]
     fn outstanding_limit_backpressures() {
-        let mut cfg = CdcConfig::default();
-        cfg.max_outstanding = 2;
+        let cfg = CdcConfig {
+            max_outstanding: 2,
+            ..CdcConfig::default()
+        };
         let mut t = Trapper::new(cfg);
         // Two transactions in flight that retire late.
         let (a, a_pl) = t.accept(0, SimTime::ZERO);
@@ -133,8 +135,10 @@ mod tests {
 
     #[test]
     fn reset_clears_backpressure() {
-        let mut cfg = CdcConfig::default();
-        cfg.max_outstanding = 1;
+        let cfg = CdcConfig {
+            max_outstanding: 1,
+            ..CdcConfig::default()
+        };
         let mut t = Trapper::new(cfg);
         let (a, a_pl) = t.accept(0, SimTime::ZERO);
         t.respond(a.id, a_pl + ns(500), 64);

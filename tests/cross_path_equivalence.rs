@@ -84,6 +84,187 @@ fn width_mask(width: usize) -> u64 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Optimized scan ≡ naive reference scan
+// ---------------------------------------------------------------------------
+
+mod scan_equivalence {
+    use super::*;
+    use relational_memory::cache::HierarchyStats;
+    use relational_memory::core::system::RowEffect;
+    use relational_memory::dram::DramStats;
+    use relational_memory::storage::MvccConfig;
+
+    /// Everything observable about one measured scan.
+    #[derive(Debug, Clone, PartialEq)]
+    struct ScanRecord {
+        end: SimTime,
+        cpu: SimTime,
+        rows: u64,
+        values: Vec<Vec<u64>>,
+        cache: HierarchyStats,
+        dram: DramStats,
+        rme: relational_memory::rme::RmeStats,
+    }
+
+    /// Which source/path combination a case exercises.
+    #[derive(Debug, Clone, Copy)]
+    enum Kind {
+        Rows,
+        RowsMvccSnapshot,
+        Columnar,
+        EphemeralCold,
+        EphemeralHot,
+        EphemeralMvccSnapshot,
+    }
+
+    const ALL_KINDS: [Kind; 6] = [
+        Kind::Rows,
+        Kind::RowsMvccSnapshot,
+        Kind::Columnar,
+        Kind::EphemeralCold,
+        Kind::EphemeralHot,
+        Kind::EphemeralMvccSnapshot,
+    ];
+
+    /// Builds a system + table deterministically and runs one scan through
+    /// either the optimized or the naive engine. Both calls construct an
+    /// identical world, so every divergence is attributable to the scan
+    /// implementation.
+    fn run_case(
+        kind: Kind,
+        optimized: bool,
+        seed: u64,
+        widths: &[usize],
+        rows: u64,
+        columns: &[usize],
+    ) -> ScanRecord {
+        let mvcc = matches!(
+            kind,
+            Kind::RowsMvccSnapshot | Kind::EphemeralMvccSnapshot
+        );
+        let mut sys = System::with_revision(HwRevision::Mlp, 32 << 20);
+        let schema = schema_from_widths(widths);
+        let mut table = sys
+            .create_table(
+                schema,
+                rows,
+                if mvcc {
+                    MvccConfig::Enabled
+                } else {
+                    MvccConfig::Disabled
+                },
+            )
+            .unwrap();
+        DataGen::new(seed)
+            .fill_table(sys.mem_mut(), &mut table, rows)
+            .unwrap();
+        if mvcc {
+            // Deterministically delete about a third of the rows at ts 5.
+            for row in 0..rows {
+                if row.wrapping_mul(2654435761) % 3 == 0 {
+                    table.mark_deleted(sys.mem_mut(), row, 5).unwrap();
+                }
+            }
+        }
+        let snapshot = mvcc.then(|| Snapshot::at(7));
+        let scratch = sys.alloc_scratch(64 * 64);
+
+        let columnar;
+        let var;
+        let (source, path) = match kind {
+            Kind::Rows | Kind::RowsMvccSnapshot => (
+                ScanSource::Rows {
+                    table: &table,
+                    columns,
+                    snapshot,
+                },
+                AccessPath::DirectRowWise,
+            ),
+            Kind::Columnar => {
+                columnar = sys.materialize_columnar(&table).unwrap();
+                (
+                    ScanSource::Columnar {
+                        table: &columnar,
+                        columns,
+                    },
+                    AccessPath::DirectColumnar,
+                )
+            }
+            Kind::EphemeralCold | Kind::EphemeralHot | Kind::EphemeralMvccSnapshot => {
+                let path = if matches!(kind, Kind::EphemeralHot) {
+                    AccessPath::RmeHot
+                } else {
+                    AccessPath::RmeCold
+                };
+                var = sys
+                    .register_ephemeral(
+                        &table,
+                        ColumnGroup::new(columns.to_vec()).unwrap(),
+                        snapshot,
+                    )
+                    .unwrap();
+                (ScanSource::Ephemeral { var: &var }, path)
+            }
+        };
+
+        sys.set_cache_fast_path(optimized);
+        sys.begin_measurement(path);
+        let mut values: Vec<Vec<u64>> = Vec::new();
+        let per_row = |row: u64, vals: &[u64]| {
+            values.push(vals.to_vec());
+            // Exercise the closure-effect paths: extra CPU on some rows and
+            // an extra memory touch (a hash-table-bucket-like access) on
+            // every third row.
+            RowEffect {
+                cpu: SimTime::from_nanos(row % 5),
+                touch: row.is_multiple_of(3).then(|| (scratch + (row % 64) * 64, 8)),
+            }
+        };
+        let (end, cpu, rows_scanned) = if optimized {
+            sys.scan(&source, SimTime::ZERO, per_row)
+        } else {
+            sys.scan_naive(&source, SimTime::ZERO, per_row)
+        };
+        let m = sys.finish_measurement(end, cpu, path);
+        ScanRecord {
+            end,
+            cpu,
+            rows: rows_scanned,
+            values,
+            cache: m.cache,
+            dram: m.dram,
+            rme: m.rme,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The optimized scan (per-scan column cursors + per-scan backend +
+        /// cache line-resident fast path) must produce the exact same
+        /// completion time, CPU time, row count, projected values, cache
+        /// counters, DRAM counters and RME counters as the preserved naive
+        /// reference loop, for every source kind, with and without MVCC
+        /// snapshot filtering.
+        #[test]
+        fn optimized_scan_is_bit_identical_to_naive_reference(
+            widths in proptest::collection::vec(1usize..=12, 2..=6),
+            rows in 1u64..250,
+            seed in 0u64..1_000,
+            pick in proptest::collection::vec(any::<bool>(), 6),
+        ) {
+            let columns: Vec<usize> = (0..widths.len()).filter(|&i| pick[i]).collect();
+            prop_assume!(!columns.is_empty());
+            for kind in ALL_KINDS {
+                let fast = run_case(kind, true, seed, &widths, rows, &columns);
+                let naive = run_case(kind, false, seed, &widths, rows, &columns);
+                prop_assert_eq!(&fast, &naive, "diverged for {:?}", kind);
+            }
+        }
+    }
+}
+
 #[test]
 fn all_queries_agree_across_paths_and_parameters() {
     for (rows, row_bytes, width) in [(1_500u64, 64usize, 4usize), (1_000, 128, 8)] {

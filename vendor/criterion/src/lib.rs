@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the figure benches link
+//! against this minimal harness instead: it runs each benchmark closure for
+//! a warm-up iteration plus `sample_size` measured iterations (bounded by
+//! `measurement_time`) and prints mean wall-clock time per iteration. There
+//! is no statistical analysis, outlier rejection, or HTML report — good
+//! enough for smoke runs and for eyeballing relative changes.
+//!
+//! Supported surface: `Criterion::benchmark_group`, group `sample_size` /
+//! `warm_up_time` / `measurement_time` / `throughput` / `bench_function` /
+//! `bench_with_input` / `finish`, `Bencher::iter`, `BenchmarkId::new`,
+//! `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness warms up with a single
+    /// iteration regardless.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Upper bound on measured time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let mean = bencher.mean;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if !mean.is_zero() => {
+                format!("  ({:.1} MiB/s)", b as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(e)) if !mean.is_zero() => {
+                format!("  ({:.0} elem/s)", e as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<40} {:>12.3?} /iter over {} iters{}",
+            self.name, id, mean, bencher.iters, rate
+        );
+    }
+
+    /// Ends the group (printing is already done incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean over the measured iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warm-up iteration outside the measurement.
+        black_box(routine());
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            black_box(routine());
+            iters += 1;
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        self.mean = started.elapsed() / iters.max(1) as u32;
+        self.iters = iters;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(count >= 4); // warm-up + samples
+    }
+}

@@ -1,0 +1,67 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+
+use crate::{SizeRange, Strategy, TestRng};
+
+/// Strategy producing `Vec`s of an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A vector of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy producing `BTreeSet`s of an element strategy.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        // Duplicates shrink the set, so keep drawing (bounded) until the
+        // target is reached. If the element domain is smaller than the
+        // target the attempt cap keeps this terminating with a full domain.
+        let mut attempts = 0usize;
+        let max_attempts = 64 * target.max(1);
+        while set.len() < target && attempts < max_attempts {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        // Honour the minimum when possible; a sparse domain may leave the
+        // set smaller, which real proptest would reject — our tests only
+        // use domains at least as large as the requested size.
+        set
+    }
+}
+
+/// A set of `size` distinct elements drawn from `element`.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
