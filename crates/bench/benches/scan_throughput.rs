@@ -10,16 +10,24 @@
 //! can track the trajectory.
 //!
 //! ```text
-//! cargo bench -p relmem-bench --bench scan_throughput [-- --rows N] [-- --quick]
+//! cargo bench -p relmem-bench --bench scan_throughput [-- --rows N] [-- --quick] [-- --cores N]
 //! ```
+//!
+//! With `--cores N` (N > 1) the bench switches to the *multi-core sharded*
+//! variant: the same table is scanned by `System::scan_sharded` on an
+//! N-core system and by `System::scan` on a 1-core system, and the report
+//! compares aggregate **simulated** throughput (fields per simulated
+//! second) — the scaling number the shared-L2 contention model produces —
+//! alongside the wall-clock simulator rate. Results go to
+//! `BENCH_scan_throughput.cores<N>[.quick].json`.
 
 use std::time::Instant;
 
-use relmem_core::system::{RowEffect, ScanSource};
+use relmem_core::system::{RowEffect, ScanSource, SystemConfig};
 use relmem_core::{AccessPath, System};
 use relmem_rme::HwRevision;
 use relmem_sim::SimTime;
-use relmem_storage::{DataGen, MvccConfig, Schema};
+use relmem_storage::{DataGen, MvccConfig, RowTable, Schema};
 
 /// One timed scan pass. Returns (wall seconds, simulated end, cpu, rows,
 /// checksum) so the caller can both rate it and check equivalence.
@@ -62,10 +70,137 @@ fn best_of<F: FnMut() -> (f64, SimTime, SimTime, u64, u64)>(
     best
 }
 
+/// Builds an N-core system holding the benchmark table, deterministically.
+fn build_system(cores: usize, rows: u64) -> (System, RowTable) {
+    let schema = Schema::benchmark(4, 4, 64);
+    let table_bytes = rows * 64;
+    let mem_bytes = (table_bytes + (64 << 20)).next_power_of_two() as usize;
+    let mut sys = System::with_config(SystemConfig {
+        cores,
+        mem_bytes,
+        ..SystemConfig::default()
+    });
+    let mut table = sys
+        .create_table(schema, rows, MvccConfig::Disabled)
+        .expect("table fits");
+    DataGen::new(1)
+        .fill_table(sys.mem_mut(), &mut table, rows)
+        .expect("fill");
+    (sys, table)
+}
+
+const COLUMNS: [usize; 4] = [0, 1, 2, 3];
+
+/// The multi-core sharded variant: aggregate simulated throughput scaling
+/// of `scan_sharded` on `cores` cores over the single-core `scan`.
+fn run_multicore(rows: u64, reps: usize, quick: bool, cores: usize) {
+    let fields = rows * COLUMNS.len() as u64;
+    println!(
+        "scan_throughput (multicore): {rows} rows x {} columns on {cores} cores",
+        COLUMNS.len()
+    );
+
+    // Single-core reference (simulated time baseline).
+    let (mut solo, solo_table) = build_system(1, rows);
+    let solo_src = ScanSource::Rows {
+        table: &solo_table,
+        columns: &COLUMNS,
+        snapshot: None,
+    };
+    let (_, solo_end, _, _, solo_sum) = best_of(reps, || timed_scan(&mut solo, &solo_src, false));
+
+    // Sharded run on N cores.
+    let (mut sys, table) = build_system(cores, rows);
+    let src = ScanSource::Rows {
+        table: &table,
+        columns: &COLUMNS,
+        snapshot: None,
+    };
+    // Per-core results are identical across reps (the run is deterministic,
+    // asserted by best_of), so keep the last rep's instead of re-scanning.
+    let mut per_core = Vec::new();
+    let (wall, end, _cpu, rows_scanned, sum) = best_of(reps, || {
+        sys.begin_measurement(AccessPath::DirectRowWise);
+        let mut checksum = 0u64;
+        let started = Instant::now();
+        let run = sys.scan_sharded(&src, SimTime::ZERO, |_core, _row, values: &[u64]| {
+            checksum =
+                checksum.wrapping_add(values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+            RowEffect::default()
+        });
+        per_core = run.per_core;
+        (
+            started.elapsed().as_secs_f64(),
+            run.end,
+            run.cpu,
+            run.rows,
+            checksum,
+        )
+    });
+    assert_eq!(rows_scanned, rows);
+    assert_eq!(sum, solo_sum, "sharded scan changed the scanned values");
+
+    let scaling = solo_end.as_nanos_f64() / end.as_nanos_f64();
+    let sim_rate_1 = fields as f64 / solo_end.as_nanos_f64() * 1e9;
+    let sim_rate_n = fields as f64 / end.as_nanos_f64() * 1e9;
+    let wall_rate = fields as f64 / wall;
+    println!("  1 core : {solo_end} simulated  ({sim_rate_1:.3e} fields/sim-s)");
+    println!("  {cores} cores: {end} simulated  ({sim_rate_n:.3e} fields/sim-s)");
+    println!("  aggregate simulated throughput scaling: {scaling:.2}x");
+    println!("  simulator wall rate ({cores} cores): {wall_rate:.3e} fields/s");
+    let mut contention = Vec::new();
+    for c in &per_core {
+        println!(
+            "    core {}: rows={} end={} l2-contended={} delay={}",
+            c.core, c.rows, c.end, c.cache.l2_contended_lookups, c.cache.l2_contention_delay
+        );
+        contention.push(c.cache.l2_contention_delay.as_nanos_f64());
+    }
+    assert!(
+        per_core.iter().any(|c| c.cache.l2_contended_lookups > 0),
+        "multi-core run should show shared-L2 contention"
+    );
+    if cores >= 4 {
+        assert!(
+            scaling > 2.0,
+            "cores={cores} sharded scan must scale aggregate simulated \
+             throughput >2x over 1 core, got {scaling:.2}x"
+        );
+    }
+
+    let per_core_json: Vec<String> = contention
+        .iter()
+        .map(|d| format!("{d:.1}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scan_throughput_multicore\",\n  \"rows\": {rows},\n  \
+         \"columns\": {},\n  \"cores\": {cores},\n  \
+         \"simulated_end_1core_ns\": {:.1},\n  \
+         \"simulated_end_ns\": {:.1},\n  \
+         \"aggregate_sim_throughput_scaling\": {scaling:.3},\n  \
+         \"sim_fields_per_sec\": {sim_rate_n:.1},\n  \
+         \"wall_fields_per_sec\": {wall_rate:.1},\n  \
+         \"per_core_l2_contention_delay_ns\": [{}],\n  \
+         \"outputs_identical\": true\n}}\n",
+        COLUMNS.len(),
+        solo_end.as_nanos_f64(),
+        end.as_nanos_f64(),
+        per_core_json.join(", ")
+    );
+    let suffix = if quick { ".quick" } else { "" };
+    let out = format!(
+        "{}/../../BENCH_scan_throughput.cores{cores}{suffix}.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::write(&out, &json).expect("write scan_throughput multicore report");
+    println!("wrote {out}");
+}
+
 fn main() {
     let mut rows: u64 = 1_000_000;
     let mut reps = 3usize;
     let mut quick = false;
+    let mut cores = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,12 +215,20 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--rows requires a number");
             }
+            "--cores" => {
+                cores = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cores requires a number");
+            }
             // `cargo bench` appends harness flags like --bench; ignore them.
             _ => {}
         }
     }
-
-    const COLUMNS: [usize; 4] = [0, 1, 2, 3];
+    if cores > 1 {
+        run_multicore(rows, reps, quick, cores);
+        return;
+    }
     // The paper's default relation shape: 64-byte rows, 4-byte columns; we
     // scan the first four columns.
     let schema = Schema::benchmark(4, 4, 64);

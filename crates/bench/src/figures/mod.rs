@@ -8,6 +8,7 @@ mod fig10;
 mod fig11;
 mod fig12;
 mod fig13;
+mod fig13_multicore;
 mod tables;
 
 pub use fig06::fig06;
@@ -18,6 +19,7 @@ pub use fig10::fig10;
 pub use fig11::fig11;
 pub use fig12::fig12;
 pub use fig13::fig13;
+pub use fig13_multicore::fig13_multicore;
 pub use tables::{table1, table2};
 
 use relmem_sim::report::Table;
@@ -60,7 +62,8 @@ impl Experiment {
 /// Identifiers of every experiment, in paper order.
 pub fn all_experiments() -> Vec<&'static str> {
     vec![
-        "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table1", "table2",
+        "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig13_multicore", "table1", "table2",
     ]
 }
 
@@ -77,6 +80,7 @@ pub fn experiment_by_id(id: &str, quick: bool, full: bool) -> Option<Experiment>
         "fig11" => Some(fig11(quick)),
         "fig12" => Some(fig12(quick)),
         "fig13" => Some(fig13(quick, full)),
+        "fig13_multicore" => Some(fig13_multicore(quick)),
         "table1" => Some(table1()),
         "table2" => Some(table2()),
         _ => None,

@@ -1,15 +1,26 @@
 //! The L1 + L2 cache hierarchy over a pluggable memory backend.
 //!
-//! Every CPU memory reference in the query engine funnels through
-//! [`CacheHierarchy::access`]. The hierarchy:
+//! Every CPU memory reference in the query engine funnels through a
+//! [`CoreFrontend`] — one core's private L1, stream prefetcher and
+//! miss-status registers — backed by a [`SharedL2`] that all cores of the
+//! cluster share. An access:
 //!
-//! * looks the line up in L1, then L2,
+//! * looks the line up in the core's L1, then the shared L2,
 //! * on an L2 miss asks the [`MemoryBackend`] (DRAM controller for normal
 //!   addresses, the RME for ephemeral addresses) to fill the line,
 //! * trains the stream prefetcher on L1 misses and issues its prefetches to
 //!   the same backend, so prefetched lines arrive early and demand misses on
 //!   them only pay the residual latency,
-//! * accumulates the per-level request/miss counters reported in Figure 8.
+//! * accumulates the per-level request/miss counters reported in Figure 8
+//!   (per core; aggregate counters are the merge across cores).
+//!
+//! [`CacheHierarchy`] packages one frontend with its own shared L2 — the
+//! single-core composition every pre-multi-core caller (and any experiment
+//! that doesn't shard work) uses. Multi-core callers (`relmem-core`'s
+//! `System`) own N frontends and one `SharedL2` directly, and pass the L2
+//! into every access; lookups then contend on the L2's banks (see the
+//! `shared_l2` module docs for the contention model and the single-core
+//! bypass that keeps `cores == 1` timing bit-identical).
 //!
 //! # Line-resident fast path
 //!
@@ -28,11 +39,11 @@
 //! # Hot-path data structures
 //!
 //! In-flight fill completions (the MSHR occupancy model) live in a
-//! fixed-capacity [`MissSlots`] pool sized to the core's
-//! miss-status-holding-register count — a handful of `SimTime`s scanned in
-//! registers, instead of the seed's unbounded `Vec` with an `O(n)`
-//! `retain` plus `min_by_key` per miss. Pending prefetch arrivals live in
-//! an open-addressed [`LineMap`] keyed by line address, and are removed
+//! fixed-capacity `MissSlots` pool (private to this module) sized to the
+//! core's miss-status-holding-register count — a handful of `SimTime`s
+//! scanned in registers, instead of the seed's unbounded `Vec` with an
+//! `O(n)` `retain` plus `min_by_key` per miss. Pending prefetch arrivals
+//! live in an open-addressed `LineMap` keyed by line address, and are removed
 //! the moment their line is evicted from the L2, so a later refill of the
 //! same line can never read a stale arrival time (the seed implementation
 //! let such entries linger until a threshold purge, over-counting
@@ -41,8 +52,8 @@
 use relmem_sim::{PlatformConfig, SimTime};
 
 use crate::cache::Cache;
-use crate::linemap::LineMap;
 use crate::prefetch::StreamPrefetcher;
+use crate::shared_l2::SharedL2;
 use crate::stats::HierarchyStats;
 
 /// Where a memory access was served from.
@@ -165,16 +176,31 @@ impl MissSlots {
     }
 }
 
-/// The modelled two-level cache hierarchy of one core.
+/// One core's private cache frontend: the L1 data cache, the stream
+/// prefetcher and the miss-status registers, plus that core's counters.
+///
+/// The frontend does not own an L2 — every access is given the cluster's
+/// [`SharedL2`], so N frontends over one `SharedL2` model an N-core cluster
+/// whose lookups contend on the L2's banks.
+///
+/// ```
+/// use relmem_cache::{CoreFrontend, FixedLatencyBackend, SharedL2};
+/// use relmem_sim::{PlatformConfig, SimTime};
+///
+/// let cfg = PlatformConfig::zcu102();
+/// let mut l2 = SharedL2::new(&cfg, 2);
+/// let mut cores = [CoreFrontend::new(&cfg), CoreFrontend::new(&cfg)];
+/// let mut mem = FixedLatencyBackend::new(SimTime::from_nanos(80));
+/// // Both cores touch different lines at t=0; each keeps its own counters.
+/// cores[0].access(0, 8, SimTime::ZERO, &mut l2, &mut mem);
+/// cores[1].access(1 << 20, 8, SimTime::ZERO, &mut l2, &mut mem);
+/// assert_eq!(cores[0].stats().l1.requests, 1);
+/// assert_eq!(cores[1].stats().l1.requests, 1);
+/// ```
 #[derive(Debug, Clone)]
-pub struct CacheHierarchy {
+pub struct CoreFrontend {
     l1: Cache,
-    l2: Cache,
     prefetcher: StreamPrefetcher,
-    /// Lines whose fill is still in flight (typically prefetches), mapped to
-    /// their arrival time at L2. Entries are dropped when the line leaves
-    /// the L2 so they can never serve a stale arrival to a later refill.
-    pending: LineMap,
     /// Completion times of fills currently in flight. The pool's capacity
     /// is the core's miss-status-holding-register count, which is what
     /// limits how much DRAM bandwidth a single in-order core can extract —
@@ -192,19 +218,17 @@ pub struct CacheHierarchy {
     stats: HierarchyStats,
 }
 
-impl CacheHierarchy {
-    /// Builds the hierarchy described by `cfg`.
+impl CoreFrontend {
+    /// Builds one core's frontend described by `cfg`.
     pub fn new(cfg: &PlatformConfig) -> Self {
         let cpu = cfg.cpu_clock();
-        CacheHierarchy {
+        CoreFrontend {
             l1: Cache::new(cfg.l1),
-            l2: Cache::new(cfg.l2),
             prefetcher: StreamPrefetcher::new(
                 cfg.line_bytes(),
                 cfg.prefetch_streams,
                 cfg.prefetch_degree,
             ),
-            pending: LineMap::new(),
             inflight: MissSlots::new(cfg.cpu.max_outstanding_misses.max(1)),
             l1_hit: cpu.cycles(cfg.l1.hit_latency_cycles),
             l2_hit: cpu.cycles(cfg.l2.hit_latency_cycles),
@@ -220,12 +244,13 @@ impl CacheHierarchy {
         self.line_bytes
     }
 
-    /// Accumulated statistics.
+    /// This core's accumulated counters (its own L1/L2 requests, backend
+    /// fills, prefetches and the contention delay its lookups suffered).
     pub fn stats(&self) -> &HierarchyStats {
         &self.stats
     }
 
-    /// Resets statistics (keeps cache contents).
+    /// Resets this core's counters (keeps cache contents).
     pub fn reset_stats(&mut self) {
         self.stats = HierarchyStats::default();
     }
@@ -241,18 +266,12 @@ impl CacheHierarchy {
         }
     }
 
-    /// Number of pending (in-flight prefetch) fills currently tracked.
-    pub fn pending_fills(&self) -> usize {
-        self.pending.len()
-    }
-
-    /// Flushes both cache levels, forgets prefetch streams and in-flight
-    /// fills. Used to make "cold" measurements.
+    /// Flushes the private L1, forgets prefetch streams and in-flight
+    /// fills. Does not touch the shared L2 — the owner flushes that once
+    /// for the whole cluster.
     pub fn flush(&mut self) {
         self.l1.flush();
-        self.l2.flush();
         self.prefetcher.reset();
-        self.pending.clear();
         self.inflight.clear();
         self.mru_line = NO_LINE;
     }
@@ -276,25 +295,26 @@ impl CacheHierarchy {
 
     /// Performs a CPU read of `bytes` bytes at `addr`, issued at `now`, and
     /// returns when the data is available. Accesses that straddle a line
-    /// boundary touch both lines.
+    /// boundary touch both lines. Misses walk the given shared L2.
     #[inline]
     pub fn access<B: MemoryBackend>(
         &mut self,
         addr: u64,
         bytes: usize,
         now: SimTime,
+        l2: &mut SharedL2,
         backend: &mut B,
     ) -> AccessOutcome {
         let first_line = addr & !(self.line_bytes - 1);
         let last_line = (addr + bytes.max(1) as u64 - 1) & !(self.line_bytes - 1);
         if first_line == last_line {
-            return self.access_line(first_line, now, backend);
+            return self.access_line(first_line, now, l2, backend);
         }
         let mut completion = now;
         let mut level = HitLevel::L1;
         let mut line = first_line;
         loop {
-            let outcome = self.access_line(line, now, backend);
+            let outcome = self.access_line(line, now, l2, backend);
             completion = completion.max(outcome.completion);
             level = level.max(outcome.level);
             if line == last_line {
@@ -312,9 +332,10 @@ impl CacheHierarchy {
         addr: u64,
         bytes: usize,
         now: SimTime,
+        l2: &mut SharedL2,
         backend: &mut B,
     ) -> AccessOutcome {
-        self.access(addr, bytes, now, backend)
+        self.access(addr, bytes, now, l2, backend)
     }
 
     #[inline]
@@ -322,6 +343,7 @@ impl CacheHierarchy {
         &mut self,
         line: u64,
         now: SimTime,
+        l2: &mut SharedL2,
         backend: &mut B,
     ) -> AccessOutcome {
         // Fast path: a repeat touch of the line most recently made MRU in
@@ -357,19 +379,23 @@ impl CacheHierarchy {
         // Train the prefetcher on the L1 miss stream and issue its requests.
         let decision = self.prefetcher.train(line);
         for pline in decision.lines() {
-            self.issue_prefetch(pline, now, backend);
+            self.issue_prefetch(pline, now, l2, backend);
         }
 
         // L2 lookup, same single-walk fusion (the backend fill between the
-        // seed's lookup and fill never reads the L2).
+        // seed's lookup and fill never reads the L2). The lookup reaches
+        // the L2 after the L1 latency and may first wait for its bank
+        // (identity when the contention model is off, i.e. one core).
         self.stats.l2.requests += 1;
-        let l2_lookup_done = now + self.l1_hit + self.l2_hit;
-        match self.l2.probe_else_fill(line) {
+        let (lookup_start, waited) = l2.book_bank(line, now + self.l1_hit);
+        self.note_l2_wait(waited);
+        let l2_lookup_done = lookup_start + self.l2_hit;
+        match l2.probe_else_fill(line) {
             None => {
                 self.stats.l2.hits += 1;
                 // The line may still be in flight if it was prefetched
                 // recently.
-                let arrival = self.pending.remove(line).unwrap_or(SimTime::ZERO);
+                let arrival = l2.pending_remove(line).unwrap_or(SimTime::ZERO);
                 if !arrival.is_zero() {
                     self.stats.prefetch_hits += 1;
                 }
@@ -381,12 +407,12 @@ impl CacheHierarchy {
             Some(evicted) => {
                 self.stats.l2.misses += 1;
                 if let Some(evicted) = evicted {
-                    self.pending.remove(evicted);
+                    l2.pending_remove(evicted);
                 }
                 // Demand fill from the backend, subject to the
                 // outstanding-miss cap.
                 self.stats.backend_fills += 1;
-                let issue = self.book_miss_slot(now + self.l1_hit + self.l2_hit, now);
+                let issue = self.book_miss_slot(l2_lookup_done, now);
                 let arrival = backend.fill_line(line, issue);
                 self.record_inflight(arrival);
                 AccessOutcome {
@@ -404,14 +430,34 @@ impl CacheHierarchy {
         }
     }
 
-    fn issue_prefetch<B: MemoryBackend>(&mut self, line: u64, now: SimTime, backend: &mut B) {
+    /// Records a bank wait reported by [`SharedL2::book_bank`] in this
+    /// core's counters.
+    #[inline]
+    fn note_l2_wait(&mut self, waited: SimTime) {
+        if !waited.is_zero() {
+            self.stats.l2_contended_lookups += 1;
+            self.stats.l2_contention_delay += waited;
+        }
+    }
+
+    fn issue_prefetch<B: MemoryBackend>(
+        &mut self,
+        line: u64,
+        now: SimTime,
+        l2: &mut SharedL2,
+        backend: &mut B,
+    ) {
         if !backend.prefetchable(line) {
             return;
         }
         // Prefetches that would hit in L2 are dropped (they count as L2
         // lookups, which is what inflates the L2 request counts in Fig. 8).
+        // Like demand lookups they occupy the line's bank when the
+        // contention model is on.
         self.stats.l2.requests += 1;
-        let evicted = match self.l2.probe_else_fill(line) {
+        let (lookup_start, waited) = l2.book_bank(line, now);
+        self.note_l2_wait(waited);
+        let evicted = match l2.probe_else_fill(line) {
             None => {
                 self.stats.l2.hits += 1;
                 return;
@@ -420,14 +466,106 @@ impl CacheHierarchy {
         };
         self.stats.l2.misses += 1;
         if let Some(evicted) = evicted {
-            self.pending.remove(evicted);
+            l2.pending_remove(evicted);
         }
         self.stats.prefetches_issued += 1;
         self.stats.backend_fills += 1;
-        let issue = self.book_miss_slot(now, now);
+        let issue = self.book_miss_slot(lookup_start, now);
         let arrival = backend.fill_line(line, issue);
         self.record_inflight(arrival);
-        self.pending.insert(line, arrival);
+        l2.pending_insert(line, arrival);
+    }
+}
+
+/// The modelled two-level cache hierarchy of one core: a [`CoreFrontend`]
+/// packaged with its own (uncontended) [`SharedL2`]. This is the
+/// composition every single-core caller uses; its timing is bit-identical
+/// to the pre-multi-core hierarchy.
+///
+/// ```
+/// use relmem_cache::{CacheHierarchy, FixedLatencyBackend, HitLevel};
+/// use relmem_sim::{PlatformConfig, SimTime};
+///
+/// let mut h = CacheHierarchy::new(&PlatformConfig::zcu102());
+/// let mut mem = FixedLatencyBackend::new(SimTime::from_nanos(100));
+/// let cold = h.access(0, 8, SimTime::ZERO, &mut mem);
+/// assert_eq!(cold.level, HitLevel::Memory);
+/// let warm = h.access(8, 8, cold.completion, &mut mem);
+/// assert_eq!(warm.level, HitLevel::L1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    front: CoreFrontend,
+    l2: SharedL2,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy described by `cfg`.
+    pub fn new(cfg: &PlatformConfig) -> Self {
+        CacheHierarchy {
+            front: CoreFrontend::new(cfg),
+            l2: SharedL2::new(cfg, 1),
+        }
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.front.line_bytes()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        self.front.stats()
+    }
+
+    /// Resets statistics (keeps cache contents).
+    pub fn reset_stats(&mut self) {
+        self.front.reset_stats();
+        self.l2.reset_stats();
+    }
+
+    /// Enables or disables the line-resident fast path (see
+    /// [`CoreFrontend::set_fast_path`]).
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.front.set_fast_path(enabled);
+    }
+
+    /// Number of pending (in-flight prefetch) fills currently tracked.
+    pub fn pending_fills(&self) -> usize {
+        self.l2.pending_fills()
+    }
+
+    /// Flushes both cache levels, forgets prefetch streams and in-flight
+    /// fills. Used to make "cold" measurements.
+    pub fn flush(&mut self) {
+        self.front.flush();
+        self.l2.flush();
+    }
+
+    /// Performs a CPU read of `bytes` bytes at `addr`, issued at `now`, and
+    /// returns when the data is available. Accesses that straddle a line
+    /// boundary touch both lines.
+    #[inline]
+    pub fn access<B: MemoryBackend>(
+        &mut self,
+        addr: u64,
+        bytes: usize,
+        now: SimTime,
+        backend: &mut B,
+    ) -> AccessOutcome {
+        self.front.access(addr, bytes, now, &mut self.l2, backend)
+    }
+
+    /// Performs a CPU write; with a write-allocate, write-back cache the
+    /// timing model is identical to a read.
+    pub fn write<B: MemoryBackend>(
+        &mut self,
+        addr: u64,
+        bytes: usize,
+        now: SimTime,
+        backend: &mut B,
+    ) -> AccessOutcome {
+        self.access(addr, bytes, now, backend)
     }
 }
 
@@ -647,7 +785,7 @@ mod tests {
             before,
             "stale pending entry produced a phantom prefetch hit"
         );
-        assert_eq!(again.completion, now + h.l1_hit + h.l2_hit);
+        assert_eq!(again.completion, now + h.front.l1_hit + h.front.l2_hit);
     }
 
     proptest! {

@@ -1,0 +1,223 @@
+//! The shared, banked L2 cache behind every core's private L1.
+//!
+//! [`SharedL2`] owns what all cores see in common: the L2 tag store, the
+//! pending-fill table (lines whose backend fill is still in flight), and a
+//! pool of bank servers that model *contention* — when several cores are
+//! simulated, lookups that map to the same bank serialize on its occupancy.
+//!
+//! # Contention model
+//!
+//! Each lookup (demand or prefetch) books the line's bank — selected by the
+//! line number modulo [`PlatformConfig::l2_banks`] — for
+//! `l2_bank_occupancy_cycles` CPU cycles, starting no earlier than the time
+//! the request reaches the L2. Occupancy is shorter than the hit *latency*
+//! (`l2.hit_latency_cycles`): the bank pipeline accepts a new lookup every
+//! few cycles even though each one takes the full latency to answer, the
+//! same occupancy-vs-latency split the DRAM model uses for tCCD vs tCAS.
+//! The delay a request suffers waiting for its bank is reported per core in
+//! [`HierarchyStats::l2_contention_delay`](crate::stats::HierarchyStats) and
+//! in aggregate in [`SharedL2Stats`].
+//!
+//! # Single-core bypass
+//!
+//! With `cores == 1` the bank booking is bypassed entirely, keeping every
+//! timestamp bit-identical to the pre-multi-core hierarchy (which charged
+//! no bank occupancy at all) — the cross-path equivalence tests assert
+//! this against the preserved naive scan. Note the bypass is a fidelity
+//! choice, not a physical law: a core's stream prefetches are issued at
+//! the same instant as its demand lookup, so even one core *can* collide
+//! with itself on a bank. On a multi-core `SharedL2` that self-contention
+//! is modelled (and shows up in the issuing core's counters alongside
+//! genuine cross-core contention, exactly as a hardware bank-conflict
+//! counter would report it); on a single-core build it is below the
+//! model's resolution, as it was in the paper-faithful original.
+//!
+//! ```
+//! use relmem_cache::SharedL2;
+//! use relmem_sim::PlatformConfig;
+//!
+//! let cfg = PlatformConfig::zcu102();
+//! let l2 = SharedL2::new(&cfg, 4);
+//! assert!(l2.is_contended());
+//! assert_eq!(SharedL2::new(&cfg, 1).is_contended(), false);
+//! ```
+
+use relmem_sim::{MultiResource, PlatformConfig, SimTime};
+
+use crate::cache::Cache;
+use crate::linemap::LineMap;
+
+/// Aggregate contention counters of the shared L2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedL2Stats {
+    /// Lookups presented to the banks (demand + prefetch, all cores).
+    pub lookups: u64,
+    /// Lookups that found their bank busy and had to wait.
+    pub contended_lookups: u64,
+    /// Total time lookups spent waiting for a busy bank.
+    pub contention_delay: SimTime,
+}
+
+/// The shared L2: tag store + pending fills + banked contention model.
+#[derive(Debug, Clone)]
+pub struct SharedL2 {
+    cache: Cache,
+    /// Lines whose fill is still in flight (typically prefetches), mapped to
+    /// their arrival time at L2. Entries are dropped when the line leaves
+    /// the L2 so they can never serve a stale arrival to a later refill.
+    pending: LineMap,
+    banks: MultiResource,
+    /// Whether bank occupancy is modelled (true iff built for > 1 core).
+    contended: bool,
+    line_shift: u32,
+    bank_occupancy: SimTime,
+    stats: SharedL2Stats,
+}
+
+impl SharedL2 {
+    /// Builds the shared L2 described by `cfg`, serving `cores` cores.
+    /// Contention is modelled only when `cores > 1` (see module docs).
+    pub fn new(cfg: &PlatformConfig, cores: usize) -> Self {
+        SharedL2 {
+            cache: Cache::new(cfg.l2),
+            pending: LineMap::new(),
+            banks: MultiResource::new("l2-banks", cfg.l2_banks.max(1)),
+            contended: cores > 1,
+            line_shift: cfg.l2.line_bytes.trailing_zeros(),
+            bank_occupancy: cfg.cpu_clock().cycles(cfg.l2_bank_occupancy_cycles),
+            stats: SharedL2Stats::default(),
+        }
+    }
+
+    /// Whether the bank contention model is active.
+    pub fn is_contended(&self) -> bool {
+        self.contended
+    }
+
+    /// Aggregate contention counters.
+    pub fn stats(&self) -> &SharedL2Stats {
+        &self.stats
+    }
+
+    /// Resets contention counters (keeps cache contents and occupancy).
+    pub fn reset_stats(&mut self) {
+        self.stats = SharedL2Stats::default();
+    }
+
+    /// The bank a line maps to.
+    #[inline]
+    pub fn bank_of(&self, line: u64) -> usize {
+        ((line >> self.line_shift) % self.banks.capacity() as u64) as usize
+    }
+
+    /// Books the line's bank for one lookup arriving at `ready`. Returns
+    /// `(start, waited)`: the time the lookup actually starts and how long
+    /// it waited for the bank (`(ready, 0)` when uncontended). The caller
+    /// charges the hit latency on top of the returned start and records
+    /// `waited` in its own per-core counters.
+    #[inline]
+    pub fn book_bank(&mut self, line: u64, ready: SimTime) -> (SimTime, SimTime) {
+        if !self.contended {
+            return (ready, SimTime::ZERO);
+        }
+        self.stats.lookups += 1;
+        let bank = self.bank_of(line);
+        let (start, _end) = self.banks.acquire_server(bank, ready, self.bank_occupancy);
+        let waited = start.saturating_sub(ready);
+        if !waited.is_zero() {
+            self.stats.contended_lookups += 1;
+            self.stats.contention_delay += waited;
+        }
+        (start, waited)
+    }
+
+    /// One-walk probe-or-install of the L2 tag store (see
+    /// [`Cache::probe_else_fill`]).
+    #[inline]
+    pub(crate) fn probe_else_fill(&mut self, line: u64) -> Option<Option<u64>> {
+        self.cache.probe_else_fill(line)
+    }
+
+    /// Records a line whose fill is in flight until `arrival`.
+    #[inline]
+    pub(crate) fn pending_insert(&mut self, line: u64, arrival: SimTime) {
+        self.pending.insert(line, arrival);
+    }
+
+    /// Removes and returns a line's in-flight arrival time, if any.
+    #[inline]
+    pub(crate) fn pending_remove(&mut self, line: u64) -> Option<SimTime> {
+        self.pending.remove(line)
+    }
+
+    /// Number of pending (in-flight prefetch) fills currently tracked.
+    pub fn pending_fills(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The L2 tag store (read access, for capacity checks in tests).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Flushes the tag store, forgets pending fills and frees every bank.
+    pub fn flush(&mut self) {
+        self.cache.flush();
+        self.pending.clear();
+        self.banks.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn uncontended_booking_is_the_identity() {
+        let cfg = PlatformConfig::zcu102();
+        let mut l2 = SharedL2::new(&cfg, 1);
+        // Back-to-back same-bank requests at the same instant: no delay,
+        // no bookkeeping.
+        assert_eq!(l2.book_bank(0, ns(10)), (ns(10), SimTime::ZERO));
+        assert_eq!(l2.book_bank(0, ns(10)), (ns(10), SimTime::ZERO));
+        assert_eq!(l2.stats(), &SharedL2Stats::default());
+    }
+
+    #[test]
+    fn contended_same_bank_lookups_serialize() {
+        let cfg = PlatformConfig::zcu102();
+        let mut l2 = SharedL2::new(&cfg, 2);
+        let occ = cfg.cpu_clock().cycles(cfg.l2_bank_occupancy_cycles);
+        assert_eq!(l2.book_bank(0, ns(10)), (ns(10), SimTime::ZERO));
+        // Same line → same bank → the second lookup waits out the occupancy.
+        assert_eq!(l2.book_bank(0, ns(10)), (ns(10) + occ, occ));
+        assert_eq!(l2.stats().contended_lookups, 1);
+        assert_eq!(l2.stats().contention_delay, occ);
+    }
+
+    #[test]
+    fn different_banks_do_not_contend() {
+        let cfg = PlatformConfig::zcu102();
+        let mut l2 = SharedL2::new(&cfg, 2);
+        let line = 64u64;
+        assert_ne!(l2.bank_of(0), l2.bank_of(line));
+        l2.book_bank(0, ns(10));
+        assert_eq!(l2.book_bank(line, ns(10)), (ns(10), SimTime::ZERO));
+        assert_eq!(l2.stats().contended_lookups, 0);
+    }
+
+    #[test]
+    fn flush_frees_banks_and_pending() {
+        let cfg = PlatformConfig::zcu102();
+        let mut l2 = SharedL2::new(&cfg, 2);
+        l2.book_bank(0, ns(10));
+        l2.pending_insert(0, ns(99));
+        l2.flush();
+        assert_eq!(l2.pending_fills(), 0);
+        assert_eq!(l2.book_bank(0, ns(10)), (ns(10), SimTime::ZERO));
+    }
+}

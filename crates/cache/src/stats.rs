@@ -1,4 +1,11 @@
 //! Cache statistics, the raw material of the paper's Figure 8.
+//!
+//! Counters are kept *per core* in each
+//! [`CoreFrontend`](crate::CoreFrontend); cluster-wide numbers are obtained
+//! with [`HierarchyStats::merge`], which is exactly what `relmem-core`'s
+//! `System` reports for a multi-core measurement.
+
+use relmem_sim::SimTime;
 
 /// Counters for a single cache level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,6 +50,13 @@ pub struct HierarchyStats {
     /// Demand misses that found their line already in flight thanks to the
     /// prefetcher.
     pub prefetch_hits: u64,
+    /// L2 lookups (demand + prefetch) from this core that found their bank
+    /// busy with another lookup. Always zero when a single core is
+    /// simulated — the shared-L2 contention model only engages for
+    /// multi-core clusters.
+    pub l2_contended_lookups: u64,
+    /// Total time this core's L2 lookups spent waiting for a busy bank.
+    pub l2_contention_delay: SimTime,
 }
 
 impl HierarchyStats {
@@ -53,6 +67,8 @@ impl HierarchyStats {
         self.backend_fills += other.backend_fills;
         self.prefetches_issued += other.prefetches_issued;
         self.prefetch_hits += other.prefetch_hits;
+        self.l2_contended_lookups += other.l2_contended_lookups;
+        self.l2_contention_delay += other.l2_contention_delay;
     }
 }
 

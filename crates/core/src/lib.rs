@@ -35,4 +35,4 @@ pub use cost::CpuCostModel;
 pub use ephemeral::EphemeralVariable;
 pub use measure::{QueryMeasurement, QueryOutput};
 pub use queries::Query;
-pub use system::System;
+pub use system::{CoreScan, ShardedScan, System, SystemConfig};

@@ -1,18 +1,54 @@
 //! The simulated platform, wired together.
 //!
-//! [`System`] owns the physical memory, the DRAM controller, one core's
-//! cache hierarchy and the Relational Memory Engine, and exposes the
-//! operations the query layer needs: creating tables, materialising the
-//! columnar baseline, registering ephemeral variables (= programming the
-//! RME), and running measured scans over any [`ScanSource`].
+//! [`System`] owns the physical memory, the DRAM controller, N cores' cache
+//! frontends over one shared L2, and the Relational Memory Engine, and
+//! exposes the operations the query layer needs: creating tables,
+//! materialising the columnar baseline, registering ephemeral variables
+//! (= programming the RME), and running measured scans over any
+//! [`ScanSource`].
 //!
 //! All timing flows through the cache hierarchy: a scan performs one cache
 //! access per touched field, misses are filled either by the DRAM
 //! controller (normal addresses) or by the RME (ephemeral addresses), and
 //! CPU work between accesses is charged from the [`CpuCostModel`].
+//!
+//! # Multi-core scans
+//!
+//! A system built with [`SystemConfig`] `{ cores: N }` owns N private L1
+//! frontends in front of one shared, banked L2 ([`relmem_cache::SharedL2`]).
+//! [`System::scan_sharded`] splits a scan's row range into N contiguous
+//! shards and steps the cores deterministically: at every step the core
+//! with the smallest local clock (ties broken by core index) processes its
+//! next *row*, so the whole run is reproducible bit for bit. The
+//! interleaving is conservative at row granularity: a row's whole access
+//! chain is simulated before the next core is stepped, so shared-resource
+//! bookings from one row may land ahead of a slightly earlier-in-time
+//! request of another core's next row — an approximation that is exact at
+//! row boundaries and standard for transaction-level models. With
+//! `cores == 1` the contention model is bypassed and every timestamp and
+//! counter is identical to [`System::scan`] — the cross-path equivalence
+//! tests assert this.
+//!
+//! ```
+//! use relmem_core::system::{RowEffect, ScanSource, SystemConfig};
+//! use relmem_core::System;
+//! use relmem_sim::SimTime;
+//! use relmem_storage::{DataGen, MvccConfig, Schema};
+//!
+//! let mut sys = System::with_config(SystemConfig { cores: 4, ..SystemConfig::default() });
+//! let schema = Schema::benchmark(4, 4, 64);
+//! let mut table = sys.create_table(schema, 10_000, MvccConfig::Disabled).unwrap();
+//! DataGen::new(1).fill_table(sys.mem_mut(), &mut table, 10_000).unwrap();
+//!
+//! let src = ScanSource::Rows { table: &table, columns: &[0, 1], snapshot: None };
+//! let run = sys.scan_sharded(&src, SimTime::ZERO, |_core, _row, _values| RowEffect::default());
+//! assert_eq!(run.rows, 10_000);
+//! assert_eq!(run.per_core.len(), 4);
+//! assert!(run.end > SimTime::ZERO);
+//! ```
 
-use relmem_cache::{CacheHierarchy, MemoryBackend};
-use relmem_dram::{DramController, MemRequest, PhysicalMemory};
+use relmem_cache::{CoreFrontend, HierarchyStats, MemoryBackend, SharedL2, SharedL2Stats};
+use relmem_dram::{DramController, MemRequest, PhysicalMemory, Requestor};
 use relmem_rme::{HwRevision, RmeEngine, TableGeometry};
 use relmem_sim::{PlatformConfig, SimTime};
 use relmem_storage::{
@@ -77,32 +113,95 @@ pub struct RowEffect {
     pub touch: Option<(u64, usize)>,
 }
 
+/// Everything needed to build a [`System`], including how many cores it
+/// simulates.
+///
+/// ```
+/// use relmem_core::system::SystemConfig;
+///
+/// // The default is the paper's setup: one active core on a ZCU102.
+/// assert_eq!(SystemConfig::default().cores, 1);
+/// // Scale out to the full A53 cluster for sharded scans.
+/// let quad = SystemConfig { cores: 4, ..SystemConfig::default() };
+/// assert_eq!(quad.cores, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Platform (caches, DRAM, PS–PL boundary, RME structure).
+    pub platform: PlatformConfig,
+    /// RME hardware revision (BSL / PCK / MLP).
+    pub revision: HwRevision,
+    /// Physical memory size in bytes.
+    pub mem_bytes: usize,
+    /// Number of simulated cores. `1` reproduces the paper's single-threaded
+    /// experiments bit for bit; `> 1` enables the shared-L2 contention model
+    /// and [`System::scan_sharded`].
+    pub cores: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            platform: PlatformConfig::zcu102(),
+            revision: HwRevision::Mlp,
+            mem_bytes: 64 << 20,
+            cores: 1,
+        }
+    }
+}
+
 /// The simulated platform.
 pub struct System {
     cfg: PlatformConfig,
     cost: CpuCostModel,
     mem: PhysicalMemory,
     dram: DramController,
-    cache: CacheHierarchy,
+    /// Per-core private cache frontends (L1 + prefetcher + MSHRs).
+    cores: Vec<CoreFrontend>,
+    /// The L2 every core shares (banked; contended when `cores.len() > 1`).
+    l2: SharedL2,
     engine: RmeEngine,
     ephemeral_cursor: u64,
 }
 
 impl System {
-    /// Builds a platform with `mem_bytes` of physical memory and an RME of
-    /// the given hardware revision.
+    /// Builds a single-core platform with `mem_bytes` of physical memory
+    /// and an RME of the given hardware revision.
     pub fn new(cfg: PlatformConfig, revision: HwRevision, mem_bytes: usize) -> Self {
+        System::with_config(SystemConfig {
+            platform: cfg,
+            revision,
+            mem_bytes,
+            cores: 1,
+        })
+    }
+
+    /// Builds a platform from a full [`SystemConfig`].
+    ///
+    /// `config.cores` is the single source of truth for the core count:
+    /// it is written back into the platform's `cpu.cores`, so the
+    /// resulting [`PlatformConfig`] always describes the cluster actually
+    /// simulated (a `cores: 8` system is an 8-core variant of the given
+    /// platform, not a ZCU102 with a stale 4-core label).
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero.
+    pub fn with_config(config: SystemConfig) -> Self {
+        assert!(config.cores >= 1, "a system needs at least one core");
+        let mut cfg = config.platform;
+        cfg.cpu.cores = config.cores;
         let engine = RmeEngine::new(
             cfg.rme,
             cfg.cdc,
-            revision,
+            config.revision,
             cfg.dram.bus_bytes,
             cfg.line_bytes(),
         );
         System {
-            mem: PhysicalMemory::new(mem_bytes),
+            mem: PhysicalMemory::new(config.mem_bytes),
             dram: DramController::new(cfg.dram),
-            cache: CacheHierarchy::new(&cfg),
+            cores: (0..config.cores).map(|_| CoreFrontend::new(&cfg)).collect(),
+            l2: SharedL2::new(&cfg, config.cores),
             engine,
             cost: CpuCostModel::default(),
             cfg,
@@ -110,9 +209,28 @@ impl System {
         }
     }
 
-    /// Convenience constructor: default ZCU102 platform.
+    /// Convenience constructor: default single-core ZCU102 platform.
     pub fn with_revision(revision: HwRevision, mem_bytes: usize) -> Self {
         System::new(PlatformConfig::zcu102(), revision, mem_bytes)
+    }
+
+    /// Number of simulated cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// One core's cache counters (its private L1 plus its own share of the
+    /// L2 traffic and contention delay).
+    ///
+    /// # Panics
+    /// Panics if `core >= num_cores()`.
+    pub fn core_stats(&self, core: usize) -> &HierarchyStats {
+        self.cores[core].stats()
+    }
+
+    /// Aggregate contention counters of the shared L2 (all cores).
+    pub fn l2_stats(&self) -> &SharedL2Stats {
+        self.l2.stats()
     }
 
     /// The platform configuration.
@@ -213,8 +331,12 @@ impl System {
     /// first frame of the currently registered ephemeral variable is
     /// pre-packed into the Reorganization Buffer.
     pub fn begin_measurement(&mut self, path: AccessPath) {
-        self.cache.flush();
-        self.cache.reset_stats();
+        for core in &mut self.cores {
+            core.flush();
+            core.reset_stats();
+        }
+        self.l2.flush();
+        self.l2.reset_stats();
         self.dram.reset();
         match path {
             AccessPath::RmeHot => {
@@ -239,10 +361,14 @@ impl System {
         cpu_time: SimTime,
         path: AccessPath,
     ) -> QueryMeasurement {
+        let mut cache = HierarchyStats::default();
+        for core in &self.cores {
+            cache.merge(core.stats());
+        }
         QueryMeasurement {
             elapsed,
             cpu_time,
-            cache: *self.cache.stats(),
+            cache,
             dram: self.dram.stats().clone(),
             rme: if path.uses_rme() {
                 self.engine.stats()
@@ -257,7 +383,9 @@ impl System {
     /// the switch exists so equivalence tests and benchmarks can compare
     /// the optimized scan against the full cache walk.
     pub fn set_cache_fast_path(&mut self, enabled: bool) {
-        self.cache.set_fast_path(enabled);
+        for core in &mut self.cores {
+            core.set_fast_path(enabled);
+        }
     }
 
     /// Runs a measured scan over `source`, invoking `per_row` for every
@@ -266,6 +394,14 @@ impl System {
     ///
     /// The closure receives the values of the requested columns (numeric
     /// view) and returns the extra work the row caused.
+    ///
+    /// The scan runs single-threaded on core 0. On a multi-core system the
+    /// shared-L2 bank model stays engaged, so core 0's own prefetches can
+    /// collide with its demand lookups (self-contention, a few percent) —
+    /// timing there is *not* identical to a `cores = 1` system, which
+    /// bypasses bank occupancy entirely for fidelity to the paper's
+    /// single-threaded setup. Use `cores = 1` for paper-faithful
+    /// single-threaded measurements; `multicore.rs` pins this distinction.
     ///
     /// This is the simulator's hot path: per-column cursors (base offset,
     /// stride, width) are computed once per scan instead of per field, the
@@ -330,11 +466,18 @@ impl System {
         let visibility_cpu = self.cost.visibility();
 
         let System {
-            cache, dram, mem, cfg, ..
+            cores,
+            l2,
+            dram,
+            mem,
+            cfg,
+            ..
         } = self;
+        let front = &mut cores[0];
         let mut backend = DramBackend {
             dram,
             line_bytes: cfg.l1.line_bytes,
+            core: 0,
         };
 
         let mut now = start;
@@ -345,7 +488,7 @@ impl System {
             let row_base = base + row * stride;
             // MVCC: read the version header and check visibility.
             if let Some(snap) = mvcc_snapshot {
-                let out = cache.access(row_base, 16, now, &mut backend);
+                let out = front.access(row_base, 16, now, l2, &mut backend);
                 now = out.completion + visibility_cpu;
                 cpu_total += visibility_cpu;
                 if !table.visible(mem, row, snap).unwrap_or(false) {
@@ -354,7 +497,7 @@ impl System {
             }
             for (slot, &(offset, width)) in cursors.iter().enumerate() {
                 let addr = row_base + offset;
-                let out = cache.access(addr, width, now, &mut backend);
+                let out = front.access(addr, width, now, l2, &mut backend);
                 now = out.completion;
                 values[slot] = mem.read_uint(addr, width.min(8));
             }
@@ -363,7 +506,7 @@ impl System {
             now += cpu;
             cpu_total += cpu;
             if let Some((addr, bytes)) = effect.touch {
-                now = cache.access(addr, bytes, now, &mut backend).completion;
+                now = front.access(addr, bytes, now, l2, &mut backend).completion;
             }
             rows_scanned += 1;
         }
@@ -398,11 +541,18 @@ impl System {
             + self.cost.tuple_reconstruction(columns.len());
 
         let System {
-            cache, dram, mem, cfg, ..
+            cores,
+            l2,
+            dram,
+            mem,
+            cfg,
+            ..
         } = self;
+        let front = &mut cores[0];
         let mut backend = DramBackend {
             dram,
             line_bytes: cfg.l1.line_bytes,
+            core: 0,
         };
 
         let mut now = start;
@@ -413,7 +563,7 @@ impl System {
             for slot in 0..addrs.len() {
                 let addr = addrs[slot];
                 let width = widths[slot];
-                let out = cache.access(addr, width, now, &mut backend);
+                let out = front.access(addr, width, now, l2, &mut backend);
                 now = out.completion;
                 values[slot] = mem.read_uint(addr, width.min(8));
                 addrs[slot] = addr + width as u64;
@@ -423,7 +573,7 @@ impl System {
             now += cpu;
             cpu_total += cpu;
             if let Some((addr, bytes)) = effect.touch {
-                now = cache.access(addr, bytes, now, &mut backend).completion;
+                now = front.access(addr, bytes, now, l2, &mut backend).completion;
             }
             rows_scanned += 1;
         }
@@ -450,13 +600,15 @@ impl System {
         let row_cpu = self.cost.row_loop() + self.cost.fields(num_columns);
 
         let System {
-            cache,
+            cores,
+            l2,
             dram,
             mem,
             engine,
             cfg,
             ..
         } = self;
+        let front = &mut cores[0];
         let line_bytes = cfg.l1.line_bytes;
 
         let mut now = start;
@@ -471,14 +623,16 @@ impl System {
                 // packed value borrows it again immediately after, so the
                 // backend is a per-access reborrow (it is two pointers —
                 // the per-scan hoisting that matters is the cursor math).
-                let out = cache.access(
+                let out = front.access(
                     addr,
                     width,
                     now,
+                    l2,
                     &mut RmeBackend {
                         engine: &mut *engine,
                         dram: &mut *dram,
                         mem,
+                        core: 0,
                     },
                 );
                 now = out.completion;
@@ -489,13 +643,15 @@ impl System {
             now += cpu;
             cpu_total += cpu;
             if let Some((addr, bytes)) = effect.touch {
-                let out = cache.access(
+                let out = front.access(
                     addr,
                     bytes,
                     now,
+                    l2,
                     &mut DramBackend {
                         dram: &mut *dram,
                         line_bytes,
+                        core: 0,
                     },
                 );
                 now = out.completion;
@@ -525,6 +681,19 @@ impl System {
         let mut values: Vec<u64> = vec![0; source.num_columns()];
         let mut rows_scanned = 0u64;
 
+        let System {
+            cores,
+            l2,
+            dram,
+            mem,
+            engine,
+            cfg,
+            cost,
+            ..
+        } = self;
+        let front = &mut cores[0];
+        let line_bytes = cfg.l1.line_bytes;
+
         match source {
             ScanSource::Rows {
                 table,
@@ -537,18 +706,20 @@ impl System {
                     if let Some(snap) = snapshot {
                         if table.mvcc().is_enabled() {
                             let header_addr = table.row_addr(row);
-                            let out = self.cache.access(
+                            let out = front.access(
                                 header_addr,
                                 16,
                                 now,
+                                l2,
                                 &mut DramBackend {
-                                    dram: &mut self.dram,
-                                    line_bytes: self.cfg.l1.line_bytes,
+                                    dram: &mut *dram,
+                                    line_bytes,
+                                    core: 0,
                                 },
                             );
-                            now = out.completion + self.cost.visibility();
-                            cpu_total += self.cost.visibility();
-                            if !table.visible(&self.mem, row, *snap).unwrap_or(false) {
+                            now = out.completion + cost.visibility();
+                            cpu_total += cost.visibility();
+                            if !table.visible(mem, row, *snap).unwrap_or(false) {
                                 continue;
                             }
                         }
@@ -556,20 +727,23 @@ impl System {
                     for (slot, &col) in columns.iter().enumerate() {
                         let addr = table.field_addr(row, col).expect("valid column");
                         let width = table.schema().width(col).expect("valid column");
-                        let out = self.cache.access(
+                        let out = front.access(
                             addr,
                             width,
                             now,
+                            l2,
                             &mut DramBackend {
-                                dram: &mut self.dram,
-                                line_bytes: self.cfg.l1.line_bytes,
+                                dram: &mut *dram,
+                                line_bytes,
+                                core: 0,
                             },
                         );
                         now = out.completion;
-                        values[slot] = self.mem.read_uint(addr, width.min(8));
+                        values[slot] = mem.read_uint(addr, width.min(8));
                     }
-                    let cpu = self.cost.row_loop() + self.cost.fields(columns.len());
-                    let (n2, c2) = self.finish_row(row, &values, cpu, now, &mut per_row);
+                    let cpu = cost.row_loop() + cost.fields(columns.len());
+                    let (n2, c2) =
+                        finish_row_naive(front, l2, dram, line_bytes, row, &values, cpu, now, &mut per_row);
                     now = n2;
                     cpu_total += c2;
                     rows_scanned += 1;
@@ -581,22 +755,25 @@ impl System {
                     for (slot, &col) in columns.iter().enumerate() {
                         let addr = table.field_addr(row, col).expect("valid column");
                         let width = table.schema().width(col).expect("valid column");
-                        let out = self.cache.access(
+                        let out = front.access(
                             addr,
                             width,
                             now,
+                            l2,
                             &mut DramBackend {
-                                dram: &mut self.dram,
-                                line_bytes: self.cfg.l1.line_bytes,
+                                dram: &mut *dram,
+                                line_bytes,
+                                core: 0,
                             },
                         );
                         now = out.completion;
-                        values[slot] = self.mem.read_uint(addr, width.min(8));
+                        values[slot] = mem.read_uint(addr, width.min(8));
                     }
-                    let cpu = self.cost.row_loop()
-                        + self.cost.fields(columns.len())
-                        + self.cost.tuple_reconstruction(columns.len());
-                    let (n2, c2) = self.finish_row(row, &values, cpu, now, &mut per_row);
+                    let cpu = cost.row_loop()
+                        + cost.fields(columns.len())
+                        + cost.tuple_reconstruction(columns.len());
+                    let (n2, c2) =
+                        finish_row_naive(front, l2, dram, line_bytes, row, &values, cpu, now, &mut per_row);
                     now = n2;
                     cpu_total += c2;
                     rows_scanned += 1;
@@ -609,21 +786,24 @@ impl System {
                     for j in 0..var.num_columns() {
                         let addr = var.field_addr(row, j);
                         let width = var.width(j);
-                        let out = self.cache.access(
+                        let out = front.access(
                             addr,
                             width,
                             now,
+                            l2,
                             &mut RmeBackend {
-                                engine: &mut self.engine,
-                                dram: &mut self.dram,
-                                mem: &self.mem,
+                                engine: &mut *engine,
+                                dram: &mut *dram,
+                                mem,
+                                core: 0,
                             },
                         );
                         now = out.completion;
-                        values[j] = self.engine.read_packed_u64(addr, width, &self.mem);
+                        values[j] = engine.read_packed_u64(addr, width, mem);
                     }
-                    let cpu = self.cost.row_loop() + self.cost.fields(var.num_columns());
-                    let (n2, c2) = self.finish_row(row, &values, cpu, now, &mut per_row);
+                    let cpu = cost.row_loop() + cost.fields(var.num_columns());
+                    let (n2, c2) =
+                        finish_row_naive(front, l2, dram, line_bytes, row, &values, cpu, now, &mut per_row);
                     now = n2;
                     cpu_total += c2;
                     rows_scanned += 1;
@@ -632,69 +812,528 @@ impl System {
         }
         (now, cpu_total, rows_scanned)
     }
-
-    /// Charges the per-row CPU work, runs the closure and applies its
-    /// effect. Returns the advanced `(now, cpu_spent_this_row)`. Only used
-    /// by [`scan_naive`](Self::scan_naive); the optimized scans inline
-    /// this with the per-scan backend.
-    fn finish_row<F>(
-        &mut self,
-        row: u64,
-        values: &[u64],
-        base_cpu: SimTime,
-        now: SimTime,
-        per_row: &mut F,
-    ) -> (SimTime, SimTime)
-    where
-        F: FnMut(u64, &[u64]) -> RowEffect,
-    {
-        let effect = per_row(row, values);
-        let cpu = base_cpu + effect.cpu;
-        let mut now = now + cpu;
-        if let Some((addr, bytes)) = effect.touch {
-            let out = self.cache.access(
-                addr,
-                bytes,
-                now,
-                &mut DramBackend {
-                    dram: &mut self.dram,
-                    line_bytes: self.cfg.l1.line_bytes,
-                },
-            );
-            now = out.completion;
-        }
-        (now, cpu)
-    }
 }
 
-/// Normal-route backend: L2 misses go straight to the DRAM controller.
+/// Charges the per-row CPU work, runs the closure and applies its effect.
+/// Returns the advanced `(now, cpu_spent_this_row)`. Only used by
+/// [`System::scan_naive`]; the optimized scans inline this with the
+/// per-scan backend.
+#[allow(clippy::too_many_arguments)] // mirrors the seed's finish_row shape
+fn finish_row_naive<F>(
+    front: &mut CoreFrontend,
+    l2: &mut SharedL2,
+    dram: &mut DramController,
+    line_bytes: usize,
+    row: u64,
+    values: &[u64],
+    base_cpu: SimTime,
+    now: SimTime,
+    per_row: &mut F,
+) -> (SimTime, SimTime)
+where
+    F: FnMut(u64, &[u64]) -> RowEffect,
+{
+    let effect = per_row(row, values);
+    let cpu = base_cpu + effect.cpu;
+    let mut now = now + cpu;
+    if let Some((addr, bytes)) = effect.touch {
+        let out = front.access(
+            addr,
+            bytes,
+            now,
+            l2,
+            &mut DramBackend {
+                dram,
+                line_bytes,
+                core: 0,
+            },
+        );
+        now = out.completion;
+    }
+    (now, cpu)
+}
+
+/// Normal-route backend: L2 misses go straight to the DRAM controller,
+/// attributed to the issuing core.
 struct DramBackend<'a> {
     dram: &'a mut DramController,
     line_bytes: usize,
+    core: usize,
 }
 
 impl MemoryBackend for DramBackend<'_> {
     fn fill_line(&mut self, line_addr: u64, ready: SimTime) -> SimTime {
         self.dram
-            .access(MemRequest::new(line_addr, self.line_bytes, ready))
+            .access(
+                MemRequest::new(line_addr, self.line_bytes, ready)
+                    .with_requestor(Requestor::Core(self.core)),
+            )
             .finish
     }
 }
 
-/// Ephemeral-route backend: L2 misses are served by the RME.
+/// Ephemeral-route backend: L2 misses are served by the RME, attributed to
+/// the issuing core.
 struct RmeBackend<'a> {
     engine: &'a mut RmeEngine,
     dram: &'a mut DramController,
     mem: &'a PhysicalMemory,
+    core: usize,
 }
 
 impl MemoryBackend for RmeBackend<'_> {
     fn fill_line(&mut self, line_addr: u64, ready: SimTime) -> SimTime {
-        self.engine.serve_line(line_addr, ready, self.mem, self.dram)
+        self.engine
+            .serve_line_from(self.core, line_addr, ready, self.mem, self.dram)
     }
 
     fn prefetchable(&self, line_addr: u64) -> bool {
         self.engine.line_is_prefetchable(line_addr)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded multi-core scans
+// ---------------------------------------------------------------------------
+
+/// One core's outcome of a [`System::scan_sharded`] run.
+#[derive(Debug, Clone)]
+pub struct CoreScan {
+    /// Core index.
+    pub core: usize,
+    /// First row of this core's shard.
+    pub first_row: u64,
+    /// Rows of the shard (before MVCC visibility filtering).
+    pub shard_rows: u64,
+    /// Rows actually scanned (visible rows processed by the closure).
+    pub rows: u64,
+    /// This core's local completion time.
+    pub end: SimTime,
+    /// CPU time this core charged.
+    pub cpu: SimTime,
+    /// This core's cache counters for the whole measurement window —
+    /// including its `l2_contention_delay`, which is where shared-L2
+    /// contention becomes visible per core.
+    pub cache: HierarchyStats,
+}
+
+/// Outcome of a [`System::scan_sharded`] run: the aggregate plus one
+/// [`CoreScan`] per core.
+#[derive(Debug, Clone)]
+pub struct ShardedScan {
+    /// Completion of the slowest core (the scan's makespan).
+    pub end: SimTime,
+    /// Total CPU time across cores.
+    pub cpu: SimTime,
+    /// Total rows scanned across cores.
+    pub rows: u64,
+    /// Per-core results, indexed by core.
+    pub per_core: Vec<CoreScan>,
+}
+
+/// Splits `rows` into `cores` contiguous shards, the first `rows % cores`
+/// of them one row larger — every row lands in exactly one shard even when
+/// the core count does not divide the row count.
+fn shard_ranges(rows: u64, cores: usize) -> Vec<(u64, u64)> {
+    let n = cores as u64;
+    let base = rows / n;
+    let extra = rows % n;
+    let mut ranges = Vec::with_capacity(cores);
+    let mut lo = 0u64;
+    for i in 0..n {
+        let len = base + u64::from(i < extra);
+        ranges.push((lo, lo + len));
+        lo += len;
+    }
+    ranges
+}
+
+/// Per-core cursor of an in-progress sharded scan.
+struct ShardState {
+    next: u64,
+    end: u64,
+    now: SimTime,
+    cpu: SimTime,
+    rows: u64,
+    values: Vec<u64>,
+}
+
+impl ShardState {
+    fn new(range: (u64, u64), start: SimTime, columns: usize) -> Self {
+        ShardState {
+            next: range.0,
+            end: range.1,
+            now: start,
+            cpu: SimTime::ZERO,
+            rows: 0,
+            values: vec![0; columns],
+        }
+    }
+}
+
+/// The unfinished core with the smallest local clock among those matching
+/// `filter` (ties broken by lowest index), or `None`. The single pick rule
+/// shared by every sharded-scan scheduler — change tie-breaking here and
+/// nowhere else.
+fn pick_min_clock(
+    states: &[ShardState],
+    filter: impl Fn(&ShardState) -> bool,
+) -> Option<usize> {
+    let mut pick: Option<usize> = None;
+    for (i, st) in states.iter().enumerate() {
+        if st.next < st.end
+            && filter(st)
+            && pick.is_none_or(|p| st.now < states[p].now)
+        {
+            pick = Some(i);
+        }
+    }
+    pick
+}
+
+/// Deterministic interleaved stepping: repeatedly give the unfinished core
+/// with the smallest local clock (ties broken by lowest index) one row of
+/// work, so a given input always produces the same interleaving. Ordering
+/// at shared resources is row-granular: the chosen core simulates its
+/// whole row (several accesses) before the next pick, so bookings within
+/// a row can precede a rival request with a marginally earlier timestamp;
+/// occupancy-based `max(ready, free)` booking keeps the result causal and
+/// deterministic either way.
+fn interleave_min_clock(states: &mut [ShardState], mut step: impl FnMut(usize, &mut ShardState)) {
+    while let Some(pick) = pick_min_clock(states, |_| true) {
+        step(pick, &mut states[pick]);
+    }
+}
+
+impl System {
+    /// Runs a measured scan over `source` sharded across every simulated
+    /// core: the row range is split into `num_cores()` contiguous shards
+    /// and the cores are stepped deterministically in smallest-local-clock
+    /// order (see the module docs). `per_row` is invoked as
+    /// `(core, row, values)` for every visible row.
+    ///
+    /// With one core this is exactly [`scan`](Self::scan) — same
+    /// timestamps, counters and values — which the cross-path equivalence
+    /// tests assert. With several cores the scans proceed concurrently in
+    /// simulated time and contend on the shared L2 banks, the DRAM
+    /// controller and (for ephemeral sources) the RME.
+    pub fn scan_sharded<F>(
+        &mut self,
+        source: &ScanSource<'_>,
+        start: SimTime,
+        mut per_row: F,
+    ) -> ShardedScan
+    where
+        F: FnMut(usize, u64, &[u64]) -> RowEffect,
+    {
+        match source {
+            ScanSource::Rows {
+                table,
+                columns,
+                snapshot,
+            } => self.scan_sharded_rows(table, columns, *snapshot, start, &mut per_row),
+            ScanSource::Columnar { table, columns } => {
+                self.scan_sharded_columnar(table, columns, start, &mut per_row)
+            }
+            ScanSource::Ephemeral { var } => self.scan_sharded_ephemeral(var, start, &mut per_row),
+        }
+    }
+
+    /// Collects per-core results after the interleaved loop finished.
+    fn collect_sharded(&self, states: Vec<ShardState>, ranges: &[(u64, u64)]) -> ShardedScan {
+        let mut per_core = Vec::with_capacity(states.len());
+        let mut end = SimTime::ZERO;
+        let mut cpu = SimTime::ZERO;
+        let mut rows = 0u64;
+        for (core, st) in states.into_iter().enumerate() {
+            end = end.max(st.now);
+            cpu += st.cpu;
+            rows += st.rows;
+            per_core.push(CoreScan {
+                core,
+                first_row: ranges[core].0,
+                shard_rows: ranges[core].1 - ranges[core].0,
+                rows: st.rows,
+                end: st.now,
+                cpu: st.cpu,
+                cache: *self.cores[core].stats(),
+            });
+        }
+        ShardedScan {
+            end,
+            cpu,
+            rows,
+            per_core,
+        }
+    }
+
+    /// Sharded row-major scan (the multi-core version of `scan_rows`).
+    ///
+    /// The per-row bodies of the three `scan_sharded_*` methods
+    /// deliberately mirror their single-core counterparts line for line —
+    /// a timing-model change there must be mirrored here (and in
+    /// `scan_naive`). The `sharded_one_core_scan_is_bit_identical_to_scan`
+    /// proptest pins the correspondence at `cores = 1`.
+    fn scan_sharded_rows<F>(
+        &mut self,
+        table: &RowTable,
+        columns: &[usize],
+        snapshot: Option<Snapshot>,
+        start: SimTime,
+        per_row: &mut F,
+    ) -> ShardedScan
+    where
+        F: FnMut(usize, u64, &[u64]) -> RowEffect,
+    {
+        let schema = table.schema();
+        let header = table.mvcc().header_bytes() as u64;
+        let cursors: Vec<(u64, usize)> = columns
+            .iter()
+            .map(|&col| {
+                (
+                    header + schema.offset(col).expect("valid column") as u64,
+                    schema.width(col).expect("valid column"),
+                )
+            })
+            .collect();
+        let base = table.row_addr(0);
+        let stride = table.physical_row_bytes() as u64;
+        let mvcc_snapshot = snapshot.filter(|_| table.mvcc().is_enabled());
+        let row_cpu = self.cost.row_loop() + self.cost.fields(columns.len());
+        let visibility_cpu = self.cost.visibility();
+
+        let ranges = shard_ranges(table.num_rows(), self.cores.len());
+        let mut states: Vec<ShardState> = ranges
+            .iter()
+            .map(|&r| ShardState::new(r, start, cursors.len()))
+            .collect();
+
+        let System {
+            cores,
+            l2,
+            dram,
+            mem,
+            cfg,
+            ..
+        } = self;
+        let line_bytes = cfg.l1.line_bytes;
+
+        interleave_min_clock(&mut states, |core, st| {
+            let front = &mut cores[core];
+            let mut backend = DramBackend {
+                dram: &mut *dram,
+                line_bytes,
+                core,
+            };
+            let row = st.next;
+            st.next += 1;
+            let row_base = base + row * stride;
+            let mut now = st.now;
+            if let Some(snap) = mvcc_snapshot {
+                let out = front.access(row_base, 16, now, l2, &mut backend);
+                now = out.completion + visibility_cpu;
+                st.cpu += visibility_cpu;
+                if !table.visible(mem, row, snap).unwrap_or(false) {
+                    st.now = now;
+                    return;
+                }
+            }
+            for (slot, &(offset, width)) in cursors.iter().enumerate() {
+                let addr = row_base + offset;
+                let out = front.access(addr, width, now, l2, &mut backend);
+                now = out.completion;
+                st.values[slot] = mem.read_uint(addr, width.min(8));
+            }
+            let effect = per_row(core, row, &st.values);
+            let cpu = row_cpu + effect.cpu;
+            now += cpu;
+            st.cpu += cpu;
+            if let Some((addr, bytes)) = effect.touch {
+                now = front.access(addr, bytes, now, l2, &mut backend).completion;
+            }
+            st.rows += 1;
+            st.now = now;
+        });
+
+        self.collect_sharded(states, &ranges)
+    }
+
+    /// Sharded column-store scan.
+    fn scan_sharded_columnar<F>(
+        &mut self,
+        table: &ColumnarTable,
+        columns: &[usize],
+        start: SimTime,
+        per_row: &mut F,
+    ) -> ShardedScan
+    where
+        F: FnMut(usize, u64, &[u64]) -> RowEffect,
+    {
+        let schema = table.schema();
+        let cursors: Vec<(u64, usize)> = columns
+            .iter()
+            .map(|&col| {
+                (
+                    table.column_base(col).expect("valid column"),
+                    schema.width(col).expect("valid column"),
+                )
+            })
+            .collect();
+        let row_cpu = self.cost.row_loop()
+            + self.cost.fields(columns.len())
+            + self.cost.tuple_reconstruction(columns.len());
+
+        let ranges = shard_ranges(table.num_rows(), self.cores.len());
+        let mut states: Vec<ShardState> = ranges
+            .iter()
+            .map(|&r| ShardState::new(r, start, cursors.len()))
+            .collect();
+
+        let System {
+            cores,
+            l2,
+            dram,
+            mem,
+            cfg,
+            ..
+        } = self;
+        let line_bytes = cfg.l1.line_bytes;
+
+        interleave_min_clock(&mut states, |core, st| {
+            let front = &mut cores[core];
+            let mut backend = DramBackend {
+                dram: &mut *dram,
+                line_bytes,
+                core,
+            };
+            let row = st.next;
+            st.next += 1;
+            let mut now = st.now;
+            for (slot, &(col_base, width)) in cursors.iter().enumerate() {
+                let addr = col_base + row * width as u64;
+                let out = front.access(addr, width, now, l2, &mut backend);
+                now = out.completion;
+                st.values[slot] = mem.read_uint(addr, width.min(8));
+            }
+            let effect = per_row(core, row, &st.values);
+            let cpu = row_cpu + effect.cpu;
+            now += cpu;
+            st.cpu += cpu;
+            if let Some((addr, bytes)) = effect.touch {
+                now = front.access(addr, bytes, now, l2, &mut backend).completion;
+            }
+            st.rows += 1;
+            st.now = now;
+        });
+
+        self.collect_sharded(states, &ranges)
+    }
+
+    /// Sharded ephemeral-variable scan through the (shared) RME.
+    ///
+    /// The cores share one Reorganization Buffer holding a single resident
+    /// frame, so the scheduler is *frame-aware*: each step picks the
+    /// smallest-clock core whose next row lies in the resident frame, and
+    /// only falls back to the global minimum-clock core (forcing a frame
+    /// turnover) when no core has work left there. Cores inside one frame
+    /// still interleave row by row; cores whose shards live in other
+    /// frames are served in frame-granular phases — which is what the
+    /// hardware does, since their requests would stall on the buffer
+    /// anyway. This bounds frame fetches at O(cores × frames); naive
+    /// min-clock stepping would re-fetch a frame on nearly every access
+    /// once shards span frame boundaries. With one core the schedule
+    /// degenerates to plain row order, keeping `cores = 1` bit-identical
+    /// to [`scan`](Self::scan).
+    fn scan_sharded_ephemeral<F>(
+        &mut self,
+        var: &EphemeralVariable,
+        start: SimTime,
+        per_row: &mut F,
+    ) -> ShardedScan
+    where
+        F: FnMut(usize, u64, &[u64]) -> RowEffect,
+    {
+        let num_columns = var.num_columns();
+        let cursors: Vec<(u64, usize)> = (0..num_columns)
+            .map(|j| (var.field_addr(0, j) - var.base(), var.width(j)))
+            .collect();
+        let base = var.base();
+        let stride = var.packed_row_bytes() as u64;
+        let row_cpu = self.cost.row_loop() + self.cost.fields(num_columns);
+        let frame_rows = self.engine.rows_per_frame().unwrap_or(u64::MAX).max(1);
+
+        let ranges = shard_ranges(var.rows(), self.cores.len());
+        let mut states: Vec<ShardState> = ranges
+            .iter()
+            .map(|&r| ShardState::new(r, start, num_columns))
+            .collect();
+
+        let System {
+            cores,
+            l2,
+            dram,
+            mem,
+            engine,
+            cfg,
+            ..
+        } = self;
+        let line_bytes = cfg.l1.line_bytes;
+
+        loop {
+            // Prefer the min-clock core working in the resident frame;
+            // fall back to the global min-clock core (frame turnover).
+            let resident = engine.resident_frame();
+            let pick = pick_min_clock(&states, |st| resident == Some(st.next / frame_rows))
+                .or_else(|| pick_min_clock(&states, |_| true));
+            let Some(core) = pick else {
+                break;
+            };
+            let st = &mut states[core];
+            let front = &mut cores[core];
+            let row = st.next;
+            st.next += 1;
+            let row_base = base + row * stride;
+            let mut now = st.now;
+            for (slot, &(offset, width)) in cursors.iter().enumerate() {
+                let addr = row_base + offset;
+                let out = front.access(
+                    addr,
+                    width,
+                    now,
+                    l2,
+                    &mut RmeBackend {
+                        engine: &mut *engine,
+                        dram: &mut *dram,
+                        mem,
+                        core,
+                    },
+                );
+                now = out.completion;
+                st.values[slot] = engine.read_packed_u64(addr, width, mem);
+            }
+            let effect = per_row(core, row, &st.values);
+            let cpu = row_cpu + effect.cpu;
+            now += cpu;
+            st.cpu += cpu;
+            if let Some((addr, bytes)) = effect.touch {
+                let out = front.access(
+                    addr,
+                    bytes,
+                    now,
+                    l2,
+                    &mut DramBackend {
+                        dram: &mut *dram,
+                        line_bytes,
+                        core,
+                    },
+                );
+                now = out.completion;
+            }
+            st.rows += 1;
+            st.now = now;
+        }
+
+        self.collect_sharded(states, &ranges)
     }
 }
 

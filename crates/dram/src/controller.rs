@@ -15,11 +15,22 @@
 //! per-bank latencies and end up limited by the data bus — exactly the
 //! behaviour that separates the paper's BSL (one outstanding transaction)
 //! from MLP (sixteen outstanding transactions).
+//!
+//! # Multi-requestor arbitration
+//!
+//! The controller is shared by every CPU core's cache hierarchy *and* the
+//! RME's fetch units. No request queue is modelled: arbitration emerges
+//! from the occupancy tracking — a request starts service at
+//! `max(ready, resource_free)` on its bank and the bus, so concurrent
+//! requestors interleave in ready-time order and contend exactly where the
+//! hardware contends (same bank, shared data bus). Each request carries a
+//! [`Requestor`] tag so traffic can be attributed per core in
+//! [`DramStats::per_core_accesses`].
 
 use relmem_sim::{DramConfig, MultiResource, Resource, SimTime};
 
 use crate::address::AddressMapping;
-use crate::request::{Completion, MemRequest};
+use crate::request::{Completion, MemRequest, Requestor};
 
 /// Aggregate statistics kept by the controller.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -34,6 +45,11 @@ pub struct DramStats {
     pub bytes_transferred: u64,
     /// Bus beats transferred.
     pub beats: u64,
+    /// Accesses attributed to each CPU core (indexed by core; grown on
+    /// demand). All single-core traffic lands in slot 0.
+    pub per_core_accesses: Vec<u64>,
+    /// Accesses issued by the RME's fetch units.
+    pub rme_accesses: u64,
 }
 
 impl DramStats {
@@ -146,6 +162,15 @@ impl DramController {
             self.stats.accesses += 1;
             self.stats.beats += beats;
             self.stats.bytes_transferred += beats * self.cfg.bus_bytes as u64;
+            match req.requestor {
+                Requestor::Core(core) => {
+                    if self.stats.per_core_accesses.len() <= core {
+                        self.stats.per_core_accesses.resize(core + 1, 0);
+                    }
+                    self.stats.per_core_accesses[core] += 1;
+                }
+                Requestor::Rme => self.stats.rme_accesses += 1,
+            }
 
             start = start.min(bank_start);
             finish = finish.max(bus_end);

@@ -22,4 +22,4 @@ pub mod request;
 pub use address::AddressMapping;
 pub use controller::{DramController, DramStats};
 pub use phys::PhysicalMemory;
-pub use request::{Completion, MemRequest};
+pub use request::{Completion, MemRequest, Requestor};

@@ -16,12 +16,43 @@ pub struct MemRequest {
     pub bytes: usize,
     /// Earliest issue time.
     pub ready: SimTime,
+    /// Which requestor (CPU core index, or the RME) issued the request.
+    /// Purely an accounting tag: arbitration itself happens on the
+    /// controller's occupancy-tracked banks and bus, which serve requests
+    /// from any requestor in `ready`-time order.
+    pub requestor: Requestor,
+}
+
+/// Who issued a memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Requestor {
+    /// A CPU core (cache-hierarchy demand miss or prefetch), by core index.
+    Core(usize),
+    /// The Relational Memory Engine's fetch units.
+    Rme,
+}
+
+impl Default for Requestor {
+    fn default() -> Self {
+        Requestor::Core(0)
+    }
 }
 
 impl MemRequest {
-    /// Convenience constructor.
+    /// Convenience constructor; the request is attributed to core 0.
     pub fn new(addr: u64, bytes: usize, ready: SimTime) -> Self {
-        MemRequest { addr, bytes, ready }
+        MemRequest {
+            addr,
+            bytes,
+            ready,
+            requestor: Requestor::Core(0),
+        }
+    }
+
+    /// Attributes the request to a requestor (builder style).
+    pub fn with_requestor(mut self, requestor: Requestor) -> Self {
+        self.requestor = requestor;
+        self
     }
 }
 

@@ -44,6 +44,11 @@ pub struct RmeEngine {
     programmed: Option<Programmed>,
     line_bytes: usize,
     stats: RmeStats,
+    /// Line requests served per CPU core (indexed by core, grown on
+    /// demand). The engine is a shared device: requests from all cores
+    /// funnel through the one Trapper, whose outstanding-transaction limit
+    /// is what arbitrates concurrent CPU-side traffic.
+    per_core_requests: Vec<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -128,6 +133,7 @@ impl RmeEngine {
             programmed: None,
             line_bytes,
             stats: RmeStats::default(),
+            per_core_requests: Vec::new(),
         }
     }
 
@@ -235,6 +241,27 @@ impl RmeEngine {
         mem: &PhysicalMemory,
         dram: &mut DramController,
     ) -> SimTime {
+        self.serve_line_from(0, addr, ready, mem, dram)
+    }
+
+    /// [`serve_line`](Self::serve_line) with the requesting CPU core made
+    /// explicit, so multi-core callers can attribute engine traffic. The
+    /// engine itself is core-agnostic: all cores share one Trapper (whose
+    /// `max_outstanding` limit arbitrates concurrent requests), one
+    /// Reorganization Buffer and one resident frame, so cores scanning
+    /// different frames of the same variable will contend for the buffer.
+    pub fn serve_line_from(
+        &mut self,
+        core: usize,
+        addr: u64,
+        ready: SimTime,
+        mem: &PhysicalMemory,
+        dram: &mut DramController,
+    ) -> SimTime {
+        if self.per_core_requests.len() <= core {
+            self.per_core_requests.resize(core + 1, 0);
+        }
+        self.per_core_requests[core] += 1;
         assert!(
             self.owns_address(addr),
             "address 0x{addr:x} is not part of the programmed ephemeral range"
@@ -342,6 +369,20 @@ impl RmeEngine {
             fu.reset();
         }
         self.stats = RmeStats::default();
+        self.per_core_requests.clear();
+    }
+
+    /// Line requests served per CPU core since the last timing reset
+    /// (indexed by core; empty if no requests were served).
+    pub fn per_core_requests(&self) -> &[u64] {
+        &self.per_core_requests
+    }
+
+    /// The frame currently resident in the Reorganization Buffer, if any.
+    /// Multi-core schedulers use this to keep cores working inside the
+    /// resident frame instead of forcing a frame turnover on every access.
+    pub fn resident_frame(&self) -> Option<u64> {
+        self.monitor.resident_frame()
     }
 
     /// Full software reset: timing state *and* buffer residency.

@@ -108,7 +108,10 @@ impl FetchUnit {
         // 2. Main-memory burst (timing) + payload (functional). A read
         //    launched from the PL additionally pays the PS-interconnect
         //    round-trip latency; with many outstanding reads it is hidden.
-        let completion = dram.access(MemRequest::new(descriptor.raddr, burst_bytes, issue));
+        let completion = dram.access(
+            MemRequest::new(descriptor.raddr, burst_bytes, issue)
+                .with_requestor(relmem_dram::Requestor::Rme),
+        );
         let data_at_unit = completion.finish + self.read_latency;
         let payload = mem.read(descriptor.raddr, burst_bytes);
 

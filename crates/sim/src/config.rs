@@ -247,6 +247,18 @@ pub struct PlatformConfig {
     pub prefetch_streams: usize,
     /// How many lines ahead the prefetcher runs once a stream is established.
     pub prefetch_degree: usize,
+    /// Number of independently addressable banks of the shared L2. Only
+    /// consulted when more than one core is simulated: concurrent lookups
+    /// that map to the same bank serialize on its occupancy (the shared-L2
+    /// contention model); a single in-order core can never overlap its own
+    /// lookups, so the banks are bypassed there to keep single-core timing
+    /// bit-identical to the pre-multi-core model.
+    pub l2_banks: usize,
+    /// CPU cycles one lookup occupies its L2 bank. The bank pipeline accepts
+    /// a new request every `l2_bank_occupancy_cycles` even though each
+    /// lookup still observes the full `l2.hit_latency_cycles` latency
+    /// (occupancy < latency, like tCCD vs tCAS on the DRAM side).
+    pub l2_bank_occupancy_cycles: u64,
     /// DRAM device and controller.
     pub dram: DramConfig,
     /// PS–PL interface.
@@ -280,6 +292,8 @@ impl PlatformConfig {
             },
             prefetch_streams: 4,
             prefetch_degree: 8,
+            l2_banks: 4,
+            l2_bank_occupancy_cycles: 4,
             dram: DramConfig::default(),
             cdc: CdcConfig::default(),
             rme: RmeHwConfig::default(),
@@ -322,6 +336,8 @@ mod tests {
     fn zcu102_defaults_match_paper() {
         let cfg = PlatformConfig::zcu102();
         assert_eq!(cfg.cpu.cores, 4);
+        assert_eq!(cfg.l2_banks, 4);
+        assert!(cfg.l2_bank_occupancy_cycles < cfg.l2.hit_latency_cycles);
         assert_eq!(cfg.l1.size_bytes, 32 * 1024);
         assert_eq!(cfg.l2.size_bytes, 1024 * 1024);
         assert_eq!(cfg.line_bytes(), 64);

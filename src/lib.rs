@@ -42,8 +42,8 @@ pub use relmem_storage as storage;
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use relmem_core::{
-        AccessPath, Benchmark, BenchmarkParams, CpuCostModel, EphemeralVariable, Query,
-        QueryMeasurement, QueryOutput, System,
+        AccessPath, Benchmark, BenchmarkParams, CoreScan, CpuCostModel, EphemeralVariable,
+        Query, QueryMeasurement, QueryOutput, ShardedScan, System, SystemConfig,
     };
     pub use relmem_rme::{HwRevision, RmeEngine, TableGeometry};
     pub use relmem_sim::{PlatformConfig, SimTime};

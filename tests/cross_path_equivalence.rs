@@ -127,13 +127,26 @@ mod scan_equivalence {
         Kind::EphemeralMvccSnapshot,
     ];
 
+    /// Which scan engine a case runs through.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Engine {
+        /// `System::scan` with the cache fast path on.
+        Optimized,
+        /// `System::scan_naive` with the cache fast path off.
+        Naive,
+        /// `System::scan_sharded` on a single core (fast path on). Must be
+        /// bit-identical to `Optimized`: one core means one shard covering
+        /// every row, stepped in order, with the L2 contention model
+        /// bypassed.
+        ShardedOneCore,
+    }
+
     /// Builds a system + table deterministically and runs one scan through
-    /// either the optimized or the naive engine. Both calls construct an
-    /// identical world, so every divergence is attributable to the scan
-    /// implementation.
+    /// the chosen engine. All calls construct an identical world, so every
+    /// divergence is attributable to the scan implementation.
     fn run_case(
         kind: Kind,
-        optimized: bool,
+        engine: Engine,
         seed: u64,
         widths: &[usize],
         rows: u64,
@@ -208,23 +221,31 @@ mod scan_equivalence {
             }
         };
 
-        sys.set_cache_fast_path(optimized);
+        sys.set_cache_fast_path(engine != Engine::Naive);
         sys.begin_measurement(path);
         let mut values: Vec<Vec<u64>> = Vec::new();
+        // Exercise the closure-effect paths: extra CPU on some rows and
+        // an extra memory touch (a hash-table-bucket-like access) on
+        // every third row.
+        let effect_of = |row: u64| RowEffect {
+            cpu: SimTime::from_nanos(row % 5),
+            touch: row.is_multiple_of(3).then(|| (scratch + (row % 64) * 64, 8)),
+        };
         let per_row = |row: u64, vals: &[u64]| {
             values.push(vals.to_vec());
-            // Exercise the closure-effect paths: extra CPU on some rows and
-            // an extra memory touch (a hash-table-bucket-like access) on
-            // every third row.
-            RowEffect {
-                cpu: SimTime::from_nanos(row % 5),
-                touch: row.is_multiple_of(3).then(|| (scratch + (row % 64) * 64, 8)),
-            }
+            effect_of(row)
         };
-        let (end, cpu, rows_scanned) = if optimized {
-            sys.scan(&source, SimTime::ZERO, per_row)
-        } else {
-            sys.scan_naive(&source, SimTime::ZERO, per_row)
+        let (end, cpu, rows_scanned) = match engine {
+            Engine::Optimized => sys.scan(&source, SimTime::ZERO, per_row),
+            Engine::Naive => sys.scan_naive(&source, SimTime::ZERO, per_row),
+            Engine::ShardedOneCore => {
+                let run = sys.scan_sharded(&source, SimTime::ZERO, |core, row, vals: &[u64]| {
+                    assert_eq!(core, 0, "one core owns every shard");
+                    values.push(vals.to_vec());
+                    effect_of(row)
+                });
+                (run.end, run.cpu, run.rows)
+            }
         };
         let m = sys.finish_measurement(end, cpu, path);
         ScanRecord {
@@ -257,9 +278,30 @@ mod scan_equivalence {
             let columns: Vec<usize> = (0..widths.len()).filter(|&i| pick[i]).collect();
             prop_assume!(!columns.is_empty());
             for kind in ALL_KINDS {
-                let fast = run_case(kind, true, seed, &widths, rows, &columns);
-                let naive = run_case(kind, false, seed, &widths, rows, &columns);
+                let fast = run_case(kind, Engine::Optimized, seed, &widths, rows, &columns);
+                let naive = run_case(kind, Engine::Naive, seed, &widths, rows, &columns);
                 prop_assert_eq!(&fast, &naive, "diverged for {:?}", kind);
+            }
+        }
+
+        /// A sharded scan on one core must also be bit-identical to
+        /// `System::scan` — same completion time, CPU time, values and
+        /// every cache/DRAM/RME counter — for every source kind, with and
+        /// without MVCC snapshot filtering. This is the `cores = 1`
+        /// equivalence guarantee of the multi-core subsystem.
+        #[test]
+        fn sharded_one_core_scan_is_bit_identical_to_scan(
+            widths in proptest::collection::vec(1usize..=12, 2..=6),
+            rows in 1u64..250,
+            seed in 0u64..1_000,
+            pick in proptest::collection::vec(any::<bool>(), 6),
+        ) {
+            let columns: Vec<usize> = (0..widths.len()).filter(|&i| pick[i]).collect();
+            prop_assume!(!columns.is_empty());
+            for kind in ALL_KINDS {
+                let scan = run_case(kind, Engine::Optimized, seed, &widths, rows, &columns);
+                let sharded = run_case(kind, Engine::ShardedOneCore, seed, &widths, rows, &columns);
+                prop_assert_eq!(&scan, &sharded, "diverged for {:?}", kind);
             }
         }
     }
