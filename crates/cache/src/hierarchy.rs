@@ -215,12 +215,21 @@ pub struct CoreFrontend {
     /// Whether the line-resident fast path is enabled (it always is outside
     /// of equivalence tests).
     fast_path: bool,
+    /// This core's index in the cluster — used to attribute its lookups in
+    /// the shared L2's per-core breakdown.
+    core: usize,
     stats: HierarchyStats,
 }
 
 impl CoreFrontend {
-    /// Builds one core's frontend described by `cfg`.
+    /// Builds one core's frontend described by `cfg` (as core 0; multi-core
+    /// owners use [`for_core`](Self::for_core)).
     pub fn new(cfg: &PlatformConfig) -> Self {
+        CoreFrontend::for_core(cfg, 0)
+    }
+
+    /// Builds the frontend of core number `core` described by `cfg`.
+    pub fn for_core(cfg: &PlatformConfig, core: usize) -> Self {
         let cpu = cfg.cpu_clock();
         CoreFrontend {
             l1: Cache::new(cfg.l1),
@@ -235,8 +244,14 @@ impl CoreFrontend {
             line_bytes: cfg.line_bytes() as u64,
             mru_line: NO_LINE,
             fast_path: true,
+            core,
             stats: HierarchyStats::default(),
         }
+    }
+
+    /// This core's index in the cluster.
+    pub fn core(&self) -> usize {
+        self.core
     }
 
     /// Cache line size in bytes.
@@ -387,7 +402,7 @@ impl CoreFrontend {
         // the L2 after the L1 latency and may first wait for its bank
         // (identity when the contention model is off, i.e. one core).
         self.stats.l2.requests += 1;
-        let (lookup_start, waited) = l2.book_bank(line, now + self.l1_hit);
+        let (lookup_start, waited) = l2.book_bank(self.core, line, now + self.l1_hit);
         self.note_l2_wait(waited);
         let l2_lookup_done = lookup_start + self.l2_hit;
         match l2.probe_else_fill(line) {
@@ -455,7 +470,7 @@ impl CoreFrontend {
         // Like demand lookups they occupy the line's bank when the
         // contention model is on.
         self.stats.l2.requests += 1;
-        let (lookup_start, waited) = l2.book_bank(line, now);
+        let (lookup_start, waited) = l2.book_bank(self.core, line, now);
         self.note_l2_wait(waited);
         let evicted = match l2.probe_else_fill(line) {
             None => {

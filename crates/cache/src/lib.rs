@@ -53,5 +53,5 @@ pub use hierarchy::{
     AccessOutcome, CacheHierarchy, CoreFrontend, FixedLatencyBackend, HitLevel, MemoryBackend,
 };
 pub use prefetch::StreamPrefetcher;
-pub use shared_l2::{SharedL2, SharedL2Stats};
+pub use shared_l2::{CoreL2Share, SharedL2, SharedL2Stats};
 pub use stats::{CacheLevelStats, HierarchyStats};

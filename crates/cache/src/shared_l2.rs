@@ -58,6 +58,20 @@ pub struct SharedL2Stats {
     pub contention_delay: SimTime,
 }
 
+/// One core's share of the shared-L2 bank traffic — the per-stream
+/// attribution the HTAP workload harness reports (each core runs one query
+/// stream, so core index ≡ stream index). The sum over cores equals
+/// [`SharedL2Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreL2Share {
+    /// Bank lookups this core presented (demand + prefetch).
+    pub lookups: u64,
+    /// Of those, how many found their bank busy.
+    pub contended_lookups: u64,
+    /// Total time this core's lookups spent waiting for a busy bank.
+    pub contention_delay: SimTime,
+}
+
 /// The shared L2: tag store + pending fills + banked contention model.
 #[derive(Debug, Clone)]
 pub struct SharedL2 {
@@ -72,6 +86,8 @@ pub struct SharedL2 {
     line_shift: u32,
     bank_occupancy: SimTime,
     stats: SharedL2Stats,
+    /// Per-core traffic attribution (indexed by core, grown on demand).
+    per_core: Vec<CoreL2Share>,
 }
 
 impl SharedL2 {
@@ -86,6 +102,7 @@ impl SharedL2 {
             line_shift: cfg.l2.line_bytes.trailing_zeros(),
             bank_occupancy: cfg.cpu_clock().cycles(cfg.l2_bank_occupancy_cycles),
             stats: SharedL2Stats::default(),
+            per_core: vec![CoreL2Share::default(); cores],
         }
     }
 
@@ -99,9 +116,15 @@ impl SharedL2 {
         &self.stats
     }
 
+    /// Per-core attribution of the bank traffic (index = core = stream).
+    pub fn core_shares(&self) -> &[CoreL2Share] {
+        &self.per_core
+    }
+
     /// Resets contention counters (keeps cache contents and occupancy).
     pub fn reset_stats(&mut self) {
         self.stats = SharedL2Stats::default();
+        self.per_core.iter_mut().for_each(|s| *s = CoreL2Share::default());
     }
 
     /// The bank a line maps to.
@@ -114,19 +137,26 @@ impl SharedL2 {
     /// `(start, waited)`: the time the lookup actually starts and how long
     /// it waited for the bank (`(ready, 0)` when uncontended). The caller
     /// charges the hit latency on top of the returned start and records
-    /// `waited` in its own per-core counters.
+    /// `waited` in its own per-core counters; `core` attributes the lookup
+    /// in this cache's own [`core_shares`](Self::core_shares) breakdown.
     #[inline]
-    pub fn book_bank(&mut self, line: u64, ready: SimTime) -> (SimTime, SimTime) {
+    pub fn book_bank(&mut self, core: usize, line: u64, ready: SimTime) -> (SimTime, SimTime) {
         if !self.contended {
             return (ready, SimTime::ZERO);
         }
         self.stats.lookups += 1;
+        if self.per_core.len() <= core {
+            self.per_core.resize(core + 1, CoreL2Share::default());
+        }
+        self.per_core[core].lookups += 1;
         let bank = self.bank_of(line);
         let (start, _end) = self.banks.acquire_server(bank, ready, self.bank_occupancy);
         let waited = start.saturating_sub(ready);
         if !waited.is_zero() {
             self.stats.contended_lookups += 1;
             self.stats.contention_delay += waited;
+            self.per_core[core].contended_lookups += 1;
+            self.per_core[core].contention_delay += waited;
         }
         (start, waited)
     }
@@ -182,8 +212,8 @@ mod tests {
         let mut l2 = SharedL2::new(&cfg, 1);
         // Back-to-back same-bank requests at the same instant: no delay,
         // no bookkeeping.
-        assert_eq!(l2.book_bank(0, ns(10)), (ns(10), SimTime::ZERO));
-        assert_eq!(l2.book_bank(0, ns(10)), (ns(10), SimTime::ZERO));
+        assert_eq!(l2.book_bank(0, 0, ns(10)), (ns(10), SimTime::ZERO));
+        assert_eq!(l2.book_bank(0, 0, ns(10)), (ns(10), SimTime::ZERO));
         assert_eq!(l2.stats(), &SharedL2Stats::default());
     }
 
@@ -192,9 +222,9 @@ mod tests {
         let cfg = PlatformConfig::zcu102();
         let mut l2 = SharedL2::new(&cfg, 2);
         let occ = cfg.cpu_clock().cycles(cfg.l2_bank_occupancy_cycles);
-        assert_eq!(l2.book_bank(0, ns(10)), (ns(10), SimTime::ZERO));
+        assert_eq!(l2.book_bank(0, 0, ns(10)), (ns(10), SimTime::ZERO));
         // Same line → same bank → the second lookup waits out the occupancy.
-        assert_eq!(l2.book_bank(0, ns(10)), (ns(10) + occ, occ));
+        assert_eq!(l2.book_bank(0, 0, ns(10)), (ns(10) + occ, occ));
         assert_eq!(l2.stats().contended_lookups, 1);
         assert_eq!(l2.stats().contention_delay, occ);
     }
@@ -205,19 +235,37 @@ mod tests {
         let mut l2 = SharedL2::new(&cfg, 2);
         let line = 64u64;
         assert_ne!(l2.bank_of(0), l2.bank_of(line));
-        l2.book_bank(0, ns(10));
-        assert_eq!(l2.book_bank(line, ns(10)), (ns(10), SimTime::ZERO));
+        l2.book_bank(0, 0, ns(10));
+        assert_eq!(l2.book_bank(0, line, ns(10)), (ns(10), SimTime::ZERO));
         assert_eq!(l2.stats().contended_lookups, 0);
+    }
+
+    #[test]
+    fn per_core_shares_attribute_contention() {
+        let cfg = PlatformConfig::zcu102();
+        let mut l2 = SharedL2::new(&cfg, 2);
+        let occ = cfg.cpu_clock().cycles(cfg.l2_bank_occupancy_cycles);
+        l2.book_bank(0, 0, ns(10));
+        l2.book_bank(1, 0, ns(10)); // same bank: core 1 waits out core 0
+        assert_eq!(l2.core_shares()[0].lookups, 1);
+        assert_eq!(l2.core_shares()[0].contended_lookups, 0);
+        assert_eq!(l2.core_shares()[1].contended_lookups, 1);
+        assert_eq!(l2.core_shares()[1].contention_delay, occ);
+        // The per-core shares sum to the aggregate counters.
+        let total: u64 = l2.core_shares().iter().map(|s| s.lookups).sum();
+        assert_eq!(total, l2.stats().lookups);
+        l2.reset_stats();
+        assert_eq!(l2.core_shares()[1], CoreL2Share::default());
     }
 
     #[test]
     fn flush_frees_banks_and_pending() {
         let cfg = PlatformConfig::zcu102();
         let mut l2 = SharedL2::new(&cfg, 2);
-        l2.book_bank(0, ns(10));
+        l2.book_bank(0, 0, ns(10));
         l2.pending_insert(0, ns(99));
         l2.flush();
         assert_eq!(l2.pending_fills(), 0);
-        assert_eq!(l2.book_bank(0, ns(10)), (ns(10), SimTime::ZERO));
+        assert_eq!(l2.book_bank(0, 0, ns(10)), (ns(10), SimTime::ZERO));
     }
 }

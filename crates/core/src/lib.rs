@@ -27,7 +27,9 @@ pub mod ephemeral;
 pub mod hashtbl;
 pub mod measure;
 pub mod queries;
+mod stepper;
 pub mod system;
+pub mod workload;
 
 pub use access_path::AccessPath;
 pub use benchmark::{Benchmark, BenchmarkParams};
@@ -36,3 +38,6 @@ pub use ephemeral::EphemeralVariable;
 pub use measure::{QueryMeasurement, QueryOutput};
 pub use queries::Query;
 pub use system::{CoreScan, ShardedScan, System, SystemConfig};
+pub use workload::{
+    OpKind, OpOutcome, QueryStream, StreamReport, Workload, WorkloadOp, WorkloadRun,
+};

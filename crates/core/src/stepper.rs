@@ -1,0 +1,336 @@
+//! The reusable per-core scan stepper.
+//!
+//! Multi-core schedulers — [`System::scan_sharded`](crate::System::scan_sharded)
+//! and the workload layer's [`System::run_workload`](crate::System::run_workload)
+//! — both advance cores one *row* at a time under deterministic min-clock
+//! interleaving. [`ScanJob`] is the shared per-row body: it captures the
+//! per-scan precomputation (column cursors, MVCC snapshot, per-row CPU
+//! charge) once and then steps any row on any core. The bodies mirror the
+//! single-core `System::scan_*` loops line for line; the cross-path
+//! equivalence proptests pin the correspondence at one core for both the
+//! sharded and the workload scheduler.
+//!
+//! [`Parts`] is the split-borrow view of the [`System`] a step works on:
+//! the per-core frontends, the shared L2, the DRAM controller, physical
+//! memory and the RME, borrowed simultaneously the way the scan loops in
+//! `system.rs` destructure the platform.
+
+use relmem_cache::{CoreFrontend, SharedL2};
+use relmem_dram::{DramController, PhysicalMemory};
+use relmem_rme::RmeEngine;
+use relmem_sim::SimTime;
+use relmem_storage::{RowTable, Snapshot};
+
+use crate::cost::CpuCostModel;
+use crate::system::{DramBackend, RmeBackend, RowEffect, ScanSource, System};
+
+/// Split-borrow view of a [`System`] for one scheduler step.
+pub(crate) struct Parts<'a> {
+    pub cores: &'a mut [CoreFrontend],
+    pub l2: &'a mut SharedL2,
+    pub dram: &'a mut DramController,
+    pub mem: &'a mut PhysicalMemory,
+    pub engine: &'a mut RmeEngine,
+    pub line_bytes: usize,
+}
+
+impl System {
+    /// Splits the platform into the borrows one scheduler step needs.
+    pub(crate) fn parts(&mut self) -> Parts<'_> {
+        Parts {
+            cores: &mut self.cores,
+            l2: &mut self.l2,
+            dram: &mut self.dram,
+            mem: &mut self.mem,
+            engine: &mut self.engine,
+            line_bytes: self.cfg.l1.line_bytes,
+        }
+    }
+}
+
+/// Outcome of stepping one row.
+pub(crate) struct RowStep {
+    /// The core's local clock after the row.
+    pub now: SimTime,
+    /// CPU time charged for the row.
+    pub cpu: SimTime,
+    /// Whether the row was processed (false: skipped by MVCC visibility).
+    pub scanned: bool,
+}
+
+/// The per-scan precomputation of one [`ScanSource`], ready to step any
+/// row on any core.
+pub(crate) struct ScanJob<'a> {
+    kind: JobKind<'a>,
+    rows: u64,
+    row_cpu: SimTime,
+    num_columns: usize,
+}
+
+enum JobKind<'a> {
+    Rows {
+        table: &'a RowTable,
+        /// (offset within the physical row, width) per projected column,
+        /// with the MVCC header folded into the offset.
+        cursors: Vec<(u64, usize)>,
+        base: u64,
+        stride: u64,
+        snapshot: Option<Snapshot>,
+        visibility_cpu: SimTime,
+    },
+    Columnar {
+        /// (column array base, width) per projected column.
+        cursors: Vec<(u64, usize)>,
+    },
+    Ephemeral {
+        /// (offset within the packed row, width) per packed column.
+        cursors: Vec<(u64, usize)>,
+        base: u64,
+        stride: u64,
+        /// Packed rows per Reorganization-Buffer frame (for frame-aware
+        /// scheduling; `u64::MAX` when the engine holds no configuration).
+        frame_rows: u64,
+    },
+}
+
+impl<'a> ScanJob<'a> {
+    /// Captures the per-scan constants of `source`. Borrows only the
+    /// source's tables — not the system — so a job can outlive any number
+    /// of [`Parts`] borrows.
+    pub(crate) fn new(
+        source: &ScanSource<'a>,
+        cost: &CpuCostModel,
+        engine: &RmeEngine,
+    ) -> ScanJob<'a> {
+        match *source {
+            ScanSource::Rows {
+                table,
+                columns,
+                snapshot,
+            } => {
+                let schema = table.schema();
+                let header = table.mvcc().header_bytes() as u64;
+                let cursors: Vec<(u64, usize)> = columns
+                    .iter()
+                    .map(|&col| {
+                        (
+                            header + schema.offset(col).expect("valid column") as u64,
+                            schema.width(col).expect("valid column"),
+                        )
+                    })
+                    .collect();
+                ScanJob {
+                    rows: table.num_rows(),
+                    row_cpu: cost.row_loop() + cost.fields(columns.len()),
+                    num_columns: columns.len(),
+                    kind: JobKind::Rows {
+                        table,
+                        cursors,
+                        base: table.row_addr(0),
+                        stride: table.physical_row_bytes() as u64,
+                        snapshot: snapshot.filter(|_| table.mvcc().is_enabled()),
+                        visibility_cpu: cost.visibility(),
+                    },
+                }
+            }
+            ScanSource::Columnar { table, columns } => {
+                let schema = table.schema();
+                let cursors: Vec<(u64, usize)> = columns
+                    .iter()
+                    .map(|&col| {
+                        (
+                            table.column_base(col).expect("valid column"),
+                            schema.width(col).expect("valid column"),
+                        )
+                    })
+                    .collect();
+                ScanJob {
+                    rows: table.num_rows(),
+                    row_cpu: cost.row_loop()
+                        + cost.fields(columns.len())
+                        + cost.tuple_reconstruction(columns.len()),
+                    num_columns: columns.len(),
+                    kind: JobKind::Columnar { cursors },
+                }
+            }
+            ScanSource::Ephemeral { var } => {
+                let num_columns = var.num_columns();
+                let cursors: Vec<(u64, usize)> = (0..num_columns)
+                    .map(|j| (var.field_addr(0, j) - var.base(), var.width(j)))
+                    .collect();
+                ScanJob {
+                    rows: var.rows(),
+                    row_cpu: cost.row_loop() + cost.fields(num_columns),
+                    num_columns,
+                    kind: JobKind::Ephemeral {
+                        cursors,
+                        base: var.base(),
+                        stride: var.packed_row_bytes() as u64,
+                        frame_rows: engine.rows_per_frame().unwrap_or(u64::MAX).max(1),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Total rows the scan covers (before MVCC visibility filtering).
+    pub(crate) fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Values produced per row.
+    pub(crate) fn num_columns(&self) -> usize {
+        self.num_columns
+    }
+
+    /// For ephemeral scans, the packed rows per Reorganization-Buffer
+    /// frame — the scheduler granule that keeps frame fetches bounded.
+    /// `None` for sources that don't go through the engine.
+    pub(crate) fn frame_rows(&self) -> Option<u64> {
+        match self.kind {
+            JobKind::Ephemeral { frame_rows, .. } => Some(frame_rows),
+            _ => None,
+        }
+    }
+
+    /// Simulates row `row` on `core` starting at local time `now`: the
+    /// row's access chain, the per-row closure, its [`RowEffect`], exactly
+    /// as the single-core scan loops do. `values` must hold
+    /// [`num_columns`](Self::num_columns) slots.
+    pub(crate) fn step_row<F>(
+        &self,
+        p: Parts<'_>,
+        core: usize,
+        row: u64,
+        now: SimTime,
+        values: &mut [u64],
+        per_row: &mut F,
+    ) -> RowStep
+    where
+        F: FnMut(u64, &[u64]) -> RowEffect,
+    {
+        let Parts {
+            cores,
+            l2,
+            dram,
+            mem,
+            engine,
+            line_bytes,
+        } = p;
+        let mut cpu = SimTime::ZERO;
+        let mut now = now;
+        match &self.kind {
+            JobKind::Rows {
+                table,
+                cursors,
+                base,
+                stride,
+                snapshot,
+                visibility_cpu,
+            } => {
+                let front = &mut cores[core];
+                let mut backend = DramBackend {
+                    dram,
+                    line_bytes,
+                    core,
+                };
+                let row_base = base + row * stride;
+                if let Some(snap) = *snapshot {
+                    let out = front.access(row_base, 16, now, l2, &mut backend);
+                    now = out.completion + *visibility_cpu;
+                    cpu += *visibility_cpu;
+                    if !table.visible(mem, row, snap).unwrap_or(false) {
+                        return RowStep {
+                            now,
+                            cpu,
+                            scanned: false,
+                        };
+                    }
+                }
+                for (slot, &(offset, width)) in cursors.iter().enumerate() {
+                    let addr = row_base + offset;
+                    let out = front.access(addr, width, now, l2, &mut backend);
+                    now = out.completion;
+                    values[slot] = mem.read_uint(addr, width.min(8));
+                }
+                let effect = per_row(row, values);
+                let row_cpu = self.row_cpu + effect.cpu;
+                now += row_cpu;
+                cpu += row_cpu;
+                if let Some((addr, bytes)) = effect.touch {
+                    now = front.access(addr, bytes, now, l2, &mut backend).completion;
+                }
+            }
+            JobKind::Columnar { cursors } => {
+                let front = &mut cores[core];
+                let mut backend = DramBackend {
+                    dram,
+                    line_bytes,
+                    core,
+                };
+                for (slot, &(col_base, width)) in cursors.iter().enumerate() {
+                    let addr = col_base + row * width as u64;
+                    let out = front.access(addr, width, now, l2, &mut backend);
+                    now = out.completion;
+                    values[slot] = mem.read_uint(addr, width.min(8));
+                }
+                let effect = per_row(row, values);
+                let row_cpu = self.row_cpu + effect.cpu;
+                now += row_cpu;
+                cpu += row_cpu;
+                if let Some((addr, bytes)) = effect.touch {
+                    now = front.access(addr, bytes, now, l2, &mut backend).completion;
+                }
+            }
+            JobKind::Ephemeral {
+                cursors,
+                base,
+                stride,
+                ..
+            } => {
+                let front = &mut cores[core];
+                let row_base = base + row * stride;
+                for (slot, &(offset, width)) in cursors.iter().enumerate() {
+                    let addr = row_base + offset;
+                    let out = front.access(
+                        addr,
+                        width,
+                        now,
+                        l2,
+                        &mut RmeBackend {
+                            engine: &mut *engine,
+                            dram: &mut *dram,
+                            mem,
+                            core,
+                        },
+                    );
+                    now = out.completion;
+                    values[slot] = engine.read_packed_u64(addr, width, mem);
+                }
+                let effect = per_row(row, values);
+                let row_cpu = self.row_cpu + effect.cpu;
+                now += row_cpu;
+                cpu += row_cpu;
+                if let Some((addr, bytes)) = effect.touch {
+                    let out = front.access(
+                        addr,
+                        bytes,
+                        now,
+                        l2,
+                        &mut DramBackend {
+                            dram: &mut *dram,
+                            line_bytes,
+                            core,
+                        },
+                    );
+                    now = out.completion;
+                }
+            }
+        }
+        RowStep {
+            now,
+            cpu,
+            scanned: true,
+        }
+    }
+}

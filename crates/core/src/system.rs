@@ -59,13 +59,17 @@ use crate::access_path::AccessPath;
 use crate::cost::CpuCostModel;
 use crate::ephemeral::EphemeralVariable;
 use crate::measure::QueryMeasurement;
+use crate::stepper::ScanJob;
 
 /// Base of the (never materialised) ephemeral address region. It is far
 /// above any physical allocation so aliases can never collide with real
 /// data.
 const EPHEMERAL_REGION_BASE: u64 = 1 << 40;
 
-/// What a measured scan iterates over.
+/// What a measured scan iterates over. The variants hold only shared
+/// references and copyable metadata, so sources are `Copy` — the workload
+/// layer clones them to override MVCC snapshots mid-stream.
+#[derive(Clone, Copy)]
 pub enum ScanSource<'a> {
     /// The row-major base table; only the named columns are touched.
     Rows {
@@ -151,16 +155,19 @@ impl Default for SystemConfig {
 }
 
 /// The simulated platform.
+///
+/// Fields are `pub(crate)` so the sibling `stepper`/`workload` modules can
+/// split-borrow the platform the way the scan loops in this module do.
 pub struct System {
-    cfg: PlatformConfig,
-    cost: CpuCostModel,
-    mem: PhysicalMemory,
-    dram: DramController,
+    pub(crate) cfg: PlatformConfig,
+    pub(crate) cost: CpuCostModel,
+    pub(crate) mem: PhysicalMemory,
+    pub(crate) dram: DramController,
     /// Per-core private cache frontends (L1 + prefetcher + MSHRs).
-    cores: Vec<CoreFrontend>,
+    pub(crate) cores: Vec<CoreFrontend>,
     /// The L2 every core shares (banked; contended when `cores.len() > 1`).
-    l2: SharedL2,
-    engine: RmeEngine,
+    pub(crate) l2: SharedL2,
+    pub(crate) engine: RmeEngine,
     ephemeral_cursor: u64,
 }
 
@@ -200,7 +207,9 @@ impl System {
         System {
             mem: PhysicalMemory::new(config.mem_bytes),
             dram: DramController::new(cfg.dram),
-            cores: (0..config.cores).map(|_| CoreFrontend::new(&cfg)).collect(),
+            cores: (0..config.cores)
+                .map(|i| CoreFrontend::for_core(&cfg, i))
+                .collect(),
             l2: SharedL2::new(&cfg, config.cores),
             engine,
             cost: CpuCostModel::default(),
@@ -231,6 +240,21 @@ impl System {
     /// Aggregate contention counters of the shared L2 (all cores).
     pub fn l2_stats(&self) -> &SharedL2Stats {
         self.l2.stats()
+    }
+
+    /// Per-core attribution of the shared-L2 bank traffic. With one query
+    /// stream per core (the workload layer's model) this is per-*stream*
+    /// attribution: which stream drove the banks, and which stream paid
+    /// the waiting.
+    pub fn l2_shares(&self) -> &[relmem_cache::CoreL2Share] {
+        self.l2.core_shares()
+    }
+
+    /// The DRAM controller's accumulated counters (also part of
+    /// [`finish_measurement`](Self::finish_measurement); exposed directly
+    /// for the golden-trace suite and ad-hoc inspection).
+    pub fn dram_stats(&self) -> &relmem_dram::DramStats {
+        self.dram.stats()
     }
 
     /// The platform configuration.
@@ -855,10 +879,10 @@ where
 
 /// Normal-route backend: L2 misses go straight to the DRAM controller,
 /// attributed to the issuing core.
-struct DramBackend<'a> {
-    dram: &'a mut DramController,
-    line_bytes: usize,
-    core: usize,
+pub(crate) struct DramBackend<'a> {
+    pub(crate) dram: &'a mut DramController,
+    pub(crate) line_bytes: usize,
+    pub(crate) core: usize,
 }
 
 impl MemoryBackend for DramBackend<'_> {
@@ -874,11 +898,11 @@ impl MemoryBackend for DramBackend<'_> {
 
 /// Ephemeral-route backend: L2 misses are served by the RME, attributed to
 /// the issuing core.
-struct RmeBackend<'a> {
-    engine: &'a mut RmeEngine,
-    dram: &'a mut DramController,
-    mem: &'a PhysicalMemory,
-    core: usize,
+pub(crate) struct RmeBackend<'a> {
+    pub(crate) engine: &'a mut RmeEngine,
+    pub(crate) dram: &'a mut DramController,
+    pub(crate) mem: &'a PhysicalMemory,
+    pub(crate) core: usize,
 }
 
 impl MemoryBackend for RmeBackend<'_> {
@@ -991,20 +1015,6 @@ fn pick_min_clock(
     pick
 }
 
-/// Deterministic interleaved stepping: repeatedly give the unfinished core
-/// with the smallest local clock (ties broken by lowest index) one row of
-/// work, so a given input always produces the same interleaving. Ordering
-/// at shared resources is row-granular: the chosen core simulates its
-/// whole row (several accesses) before the next pick, so bookings within
-/// a row can precede a rival request with a marginally earlier timestamp;
-/// occupancy-based `max(ready, free)` booking keeps the result causal and
-/// deterministic either way.
-fn interleave_min_clock(states: &mut [ShardState], mut step: impl FnMut(usize, &mut ShardState)) {
-    while let Some(pick) = pick_min_clock(states, |_| true) {
-        step(pick, &mut states[pick]);
-    }
-}
-
 impl System {
     /// Runs a measured scan over `source` sharded across every simulated
     /// core: the row range is split into `num_cores()` contiguous shards
@@ -1017,6 +1027,22 @@ impl System {
     /// tests assert. With several cores the scans proceed concurrently in
     /// simulated time and contend on the shared L2 banks, the DRAM
     /// controller and (for ephemeral sources) the RME.
+    /// The per-row bodies live in the crate-private `stepper::ScanJob`,
+    /// shared with the workload scheduler and deliberately mirroring the single-core
+    /// `scan_*` loops line for line — a timing-model change there must be
+    /// mirrored in the stepper (and in `scan_naive`). The
+    /// `sharded_one_core_scan_is_bit_identical_to_scan` proptest pins the
+    /// correspondence at `cores = 1`.
+    ///
+    /// For ephemeral sources the scheduler is *frame-aware*: the cores
+    /// share one Reorganization Buffer holding a single resident frame, so
+    /// each step picks the smallest-clock core whose next row lies in the
+    /// resident frame and only falls back to the global minimum-clock core
+    /// (forcing a frame turnover) when no core has work left there. This
+    /// bounds frame fetches at O(cores × frames); naive min-clock stepping
+    /// would re-fetch a frame on nearly every access once shards span
+    /// frame boundaries. With one core the schedule degenerates to plain
+    /// row order.
     pub fn scan_sharded<F>(
         &mut self,
         source: &ScanSource<'_>,
@@ -1026,17 +1052,47 @@ impl System {
     where
         F: FnMut(usize, u64, &[u64]) -> RowEffect,
     {
-        match source {
-            ScanSource::Rows {
-                table,
-                columns,
-                snapshot,
-            } => self.scan_sharded_rows(table, columns, *snapshot, start, &mut per_row),
-            ScanSource::Columnar { table, columns } => {
-                self.scan_sharded_columnar(table, columns, start, &mut per_row)
+        let job = ScanJob::new(source, &self.cost, &self.engine);
+        let ranges = shard_ranges(job.rows(), self.cores.len());
+        let mut states: Vec<ShardState> = ranges
+            .iter()
+            .map(|&r| ShardState::new(r, start, job.num_columns()))
+            .collect();
+
+        loop {
+            // Prefer the min-clock core working in the resident frame
+            // (ephemeral sources only); fall back to the global min-clock
+            // core (frame turnover).
+            let pick = match job.frame_rows() {
+                Some(frame_rows) => {
+                    let resident = self.engine.resident_frame();
+                    pick_min_clock(&states, |st| resident == Some(st.next / frame_rows))
+                        .or_else(|| pick_min_clock(&states, |_| true))
+                }
+                None => pick_min_clock(&states, |_| true),
+            };
+            let Some(core) = pick else {
+                break;
+            };
+            let st = &mut states[core];
+            let row = st.next;
+            st.next += 1;
+            let step = job.step_row(
+                self.parts(),
+                core,
+                row,
+                st.now,
+                &mut st.values,
+                &mut |r, v| per_row(core, r, v),
+            );
+            st.now = step.now;
+            st.cpu += step.cpu;
+            if step.scanned {
+                st.rows += 1;
             }
-            ScanSource::Ephemeral { var } => self.scan_sharded_ephemeral(var, start, &mut per_row),
         }
+
+        self.collect_sharded(states, &ranges)
     }
 
     /// Collects per-core results after the interleaved loop finished.
@@ -1065,275 +1121,6 @@ impl System {
             rows,
             per_core,
         }
-    }
-
-    /// Sharded row-major scan (the multi-core version of `scan_rows`).
-    ///
-    /// The per-row bodies of the three `scan_sharded_*` methods
-    /// deliberately mirror their single-core counterparts line for line —
-    /// a timing-model change there must be mirrored here (and in
-    /// `scan_naive`). The `sharded_one_core_scan_is_bit_identical_to_scan`
-    /// proptest pins the correspondence at `cores = 1`.
-    fn scan_sharded_rows<F>(
-        &mut self,
-        table: &RowTable,
-        columns: &[usize],
-        snapshot: Option<Snapshot>,
-        start: SimTime,
-        per_row: &mut F,
-    ) -> ShardedScan
-    where
-        F: FnMut(usize, u64, &[u64]) -> RowEffect,
-    {
-        let schema = table.schema();
-        let header = table.mvcc().header_bytes() as u64;
-        let cursors: Vec<(u64, usize)> = columns
-            .iter()
-            .map(|&col| {
-                (
-                    header + schema.offset(col).expect("valid column") as u64,
-                    schema.width(col).expect("valid column"),
-                )
-            })
-            .collect();
-        let base = table.row_addr(0);
-        let stride = table.physical_row_bytes() as u64;
-        let mvcc_snapshot = snapshot.filter(|_| table.mvcc().is_enabled());
-        let row_cpu = self.cost.row_loop() + self.cost.fields(columns.len());
-        let visibility_cpu = self.cost.visibility();
-
-        let ranges = shard_ranges(table.num_rows(), self.cores.len());
-        let mut states: Vec<ShardState> = ranges
-            .iter()
-            .map(|&r| ShardState::new(r, start, cursors.len()))
-            .collect();
-
-        let System {
-            cores,
-            l2,
-            dram,
-            mem,
-            cfg,
-            ..
-        } = self;
-        let line_bytes = cfg.l1.line_bytes;
-
-        interleave_min_clock(&mut states, |core, st| {
-            let front = &mut cores[core];
-            let mut backend = DramBackend {
-                dram: &mut *dram,
-                line_bytes,
-                core,
-            };
-            let row = st.next;
-            st.next += 1;
-            let row_base = base + row * stride;
-            let mut now = st.now;
-            if let Some(snap) = mvcc_snapshot {
-                let out = front.access(row_base, 16, now, l2, &mut backend);
-                now = out.completion + visibility_cpu;
-                st.cpu += visibility_cpu;
-                if !table.visible(mem, row, snap).unwrap_or(false) {
-                    st.now = now;
-                    return;
-                }
-            }
-            for (slot, &(offset, width)) in cursors.iter().enumerate() {
-                let addr = row_base + offset;
-                let out = front.access(addr, width, now, l2, &mut backend);
-                now = out.completion;
-                st.values[slot] = mem.read_uint(addr, width.min(8));
-            }
-            let effect = per_row(core, row, &st.values);
-            let cpu = row_cpu + effect.cpu;
-            now += cpu;
-            st.cpu += cpu;
-            if let Some((addr, bytes)) = effect.touch {
-                now = front.access(addr, bytes, now, l2, &mut backend).completion;
-            }
-            st.rows += 1;
-            st.now = now;
-        });
-
-        self.collect_sharded(states, &ranges)
-    }
-
-    /// Sharded column-store scan.
-    fn scan_sharded_columnar<F>(
-        &mut self,
-        table: &ColumnarTable,
-        columns: &[usize],
-        start: SimTime,
-        per_row: &mut F,
-    ) -> ShardedScan
-    where
-        F: FnMut(usize, u64, &[u64]) -> RowEffect,
-    {
-        let schema = table.schema();
-        let cursors: Vec<(u64, usize)> = columns
-            .iter()
-            .map(|&col| {
-                (
-                    table.column_base(col).expect("valid column"),
-                    schema.width(col).expect("valid column"),
-                )
-            })
-            .collect();
-        let row_cpu = self.cost.row_loop()
-            + self.cost.fields(columns.len())
-            + self.cost.tuple_reconstruction(columns.len());
-
-        let ranges = shard_ranges(table.num_rows(), self.cores.len());
-        let mut states: Vec<ShardState> = ranges
-            .iter()
-            .map(|&r| ShardState::new(r, start, cursors.len()))
-            .collect();
-
-        let System {
-            cores,
-            l2,
-            dram,
-            mem,
-            cfg,
-            ..
-        } = self;
-        let line_bytes = cfg.l1.line_bytes;
-
-        interleave_min_clock(&mut states, |core, st| {
-            let front = &mut cores[core];
-            let mut backend = DramBackend {
-                dram: &mut *dram,
-                line_bytes,
-                core,
-            };
-            let row = st.next;
-            st.next += 1;
-            let mut now = st.now;
-            for (slot, &(col_base, width)) in cursors.iter().enumerate() {
-                let addr = col_base + row * width as u64;
-                let out = front.access(addr, width, now, l2, &mut backend);
-                now = out.completion;
-                st.values[slot] = mem.read_uint(addr, width.min(8));
-            }
-            let effect = per_row(core, row, &st.values);
-            let cpu = row_cpu + effect.cpu;
-            now += cpu;
-            st.cpu += cpu;
-            if let Some((addr, bytes)) = effect.touch {
-                now = front.access(addr, bytes, now, l2, &mut backend).completion;
-            }
-            st.rows += 1;
-            st.now = now;
-        });
-
-        self.collect_sharded(states, &ranges)
-    }
-
-    /// Sharded ephemeral-variable scan through the (shared) RME.
-    ///
-    /// The cores share one Reorganization Buffer holding a single resident
-    /// frame, so the scheduler is *frame-aware*: each step picks the
-    /// smallest-clock core whose next row lies in the resident frame, and
-    /// only falls back to the global minimum-clock core (forcing a frame
-    /// turnover) when no core has work left there. Cores inside one frame
-    /// still interleave row by row; cores whose shards live in other
-    /// frames are served in frame-granular phases — which is what the
-    /// hardware does, since their requests would stall on the buffer
-    /// anyway. This bounds frame fetches at O(cores × frames); naive
-    /// min-clock stepping would re-fetch a frame on nearly every access
-    /// once shards span frame boundaries. With one core the schedule
-    /// degenerates to plain row order, keeping `cores = 1` bit-identical
-    /// to [`scan`](Self::scan).
-    fn scan_sharded_ephemeral<F>(
-        &mut self,
-        var: &EphemeralVariable,
-        start: SimTime,
-        per_row: &mut F,
-    ) -> ShardedScan
-    where
-        F: FnMut(usize, u64, &[u64]) -> RowEffect,
-    {
-        let num_columns = var.num_columns();
-        let cursors: Vec<(u64, usize)> = (0..num_columns)
-            .map(|j| (var.field_addr(0, j) - var.base(), var.width(j)))
-            .collect();
-        let base = var.base();
-        let stride = var.packed_row_bytes() as u64;
-        let row_cpu = self.cost.row_loop() + self.cost.fields(num_columns);
-        let frame_rows = self.engine.rows_per_frame().unwrap_or(u64::MAX).max(1);
-
-        let ranges = shard_ranges(var.rows(), self.cores.len());
-        let mut states: Vec<ShardState> = ranges
-            .iter()
-            .map(|&r| ShardState::new(r, start, num_columns))
-            .collect();
-
-        let System {
-            cores,
-            l2,
-            dram,
-            mem,
-            engine,
-            cfg,
-            ..
-        } = self;
-        let line_bytes = cfg.l1.line_bytes;
-
-        loop {
-            // Prefer the min-clock core working in the resident frame;
-            // fall back to the global min-clock core (frame turnover).
-            let resident = engine.resident_frame();
-            let pick = pick_min_clock(&states, |st| resident == Some(st.next / frame_rows))
-                .or_else(|| pick_min_clock(&states, |_| true));
-            let Some(core) = pick else {
-                break;
-            };
-            let st = &mut states[core];
-            let front = &mut cores[core];
-            let row = st.next;
-            st.next += 1;
-            let row_base = base + row * stride;
-            let mut now = st.now;
-            for (slot, &(offset, width)) in cursors.iter().enumerate() {
-                let addr = row_base + offset;
-                let out = front.access(
-                    addr,
-                    width,
-                    now,
-                    l2,
-                    &mut RmeBackend {
-                        engine: &mut *engine,
-                        dram: &mut *dram,
-                        mem,
-                        core,
-                    },
-                );
-                now = out.completion;
-                st.values[slot] = engine.read_packed_u64(addr, width, mem);
-            }
-            let effect = per_row(core, row, &st.values);
-            let cpu = row_cpu + effect.cpu;
-            now += cpu;
-            st.cpu += cpu;
-            if let Some((addr, bytes)) = effect.touch {
-                let out = front.access(
-                    addr,
-                    bytes,
-                    now,
-                    l2,
-                    &mut DramBackend {
-                        dram: &mut *dram,
-                        line_bytes,
-                        core,
-                    },
-                );
-                now = out.completion;
-            }
-            st.rows += 1;
-            st.now = now;
-        }
-
-        self.collect_sharded(states, &ranges)
     }
 }
 

@@ -1,0 +1,723 @@
+//! Concurrent HTAP workload streams, one per core.
+//!
+//! The paper's headline claim is that the Relational Memory Engine lets
+//! analytical projections run *beside* transactional row-wise traffic
+//! without the two trashing each other's cache behaviour. The scan API can
+//! only shard a single query across cores; this module models the actual
+//! HTAP scenario: every core runs its own [`QueryStream`] of OLAP column
+//! scans, OLTP point lookups and point updates/deletes against MVCC
+//! snapshots, and the streams execute *concurrently in simulated time*,
+//! contending on the shared L2 banks, the DRAM controller and the RME.
+//!
+//! # Scheduling
+//!
+//! [`System::run_workload`] reuses the deterministic min-clock interleaver
+//! of [`System::scan_sharded`]: at every step the unfinished stream with
+//! the smallest local clock (ties broken by lowest core index) advances by
+//! one *unit* — one row of an in-progress OLAP scan, or one whole point
+//! operation. Zero-time ops ([`WorkloadOp::TakeSnapshot`], starting a
+//! scan, an empty scan) do not advance the clock. Like the sharded
+//! scheduler it is frame-aware for ephemeral scans: streams whose next row
+//! lies in the RME's resident frame are preferred, so concurrent scans of
+//! a multi-frame variable stay frame-granular instead of thrashing the
+//! Reorganization Buffer.
+//!
+//! A workload of **one stream holding one OLAP scan on a 1-core system is
+//! counter-identical to [`System::scan`]** — same timestamps, values and
+//! every cache/DRAM/RME counter — which `tests/cross_path_equivalence.rs`
+//! asserts by proptest. The per-row body is literally the same code: the
+//! crate-private `stepper::ScanJob` shared with `scan_sharded`.
+//!
+//! # Example
+//!
+//! ```
+//! use relmem_core::system::{RowEffect, ScanSource, SystemConfig};
+//! use relmem_core::workload::{QueryStream, Workload, WorkloadOp};
+//! use relmem_core::{AccessPath, System};
+//! use relmem_sim::SimTime;
+//! use relmem_storage::{DataGen, MvccConfig, Schema};
+//!
+//! let mut sys = System::with_config(SystemConfig { cores: 2, ..SystemConfig::default() });
+//! let schema = Schema::benchmark(4, 4, 64);
+//! let mut table = sys.create_table(schema, 5_000, MvccConfig::Disabled).unwrap();
+//! DataGen::new(1).fill_table(sys.mem_mut(), &mut table, 5_000).unwrap();
+//!
+//! // Core 0: an analytical scan. Core 1: transactional point traffic.
+//! let columns = [0usize];
+//! let workload = Workload::new(vec![
+//!     QueryStream::new(vec![WorkloadOp::olap(ScanSource::Rows {
+//!         table: &table,
+//!         columns: &columns,
+//!         snapshot: None,
+//!     })]),
+//!     QueryStream::new(vec![
+//!         WorkloadOp::PointLookup { table: &table, columns: &columns, row: 17 },
+//!         WorkloadOp::PointUpdate { table: &table, row: 17, column: 0, value: 99 },
+//!         WorkloadOp::PointLookup { table: &table, columns: &columns, row: 17 },
+//!     ]),
+//! ]);
+//! sys.begin_measurement(AccessPath::DirectRowWise);
+//! let run = sys.run_workload(&workload, SimTime::ZERO, |_core, _op, _row, _values| {
+//!     RowEffect::default()
+//! });
+//! assert_eq!(run.streams.len(), 2);
+//! assert_eq!(run.streams[0].ops[0].rows, 5_000);
+//! assert_eq!(run.oltp_latencies().count(), 3);
+//! ```
+
+use relmem_cache::HierarchyStats;
+use relmem_sim::{LatencyProfile, SimTime};
+use relmem_storage::{RowTable, Snapshot, Timestamp, Value};
+
+use crate::stepper::ScanJob;
+use crate::system::{DramBackend, RowEffect, ScanSource, System};
+
+/// One operation of a per-core query stream.
+pub enum WorkloadOp<'a> {
+    /// An analytical scan over any [`ScanSource`]. With `stream_snapshot`
+    /// set and a row source, the scan reads under the stream's *current*
+    /// snapshot (the latest [`TakeSnapshot`](WorkloadOp::TakeSnapshot))
+    /// instead of the snapshot embedded in the source.
+    OlapScan {
+        /// What to scan.
+        source: ScanSource<'a>,
+        /// Replace a row source's snapshot with the stream's current one.
+        stream_snapshot: bool,
+    },
+    /// A transactional point read of the named columns of one row. Checks
+    /// MVCC visibility under the stream's current snapshot when the table
+    /// is versioned and a snapshot was taken.
+    PointLookup {
+        /// The row-major base table.
+        table: &'a RowTable,
+        /// Column indices to read.
+        columns: &'a [usize],
+        /// Row to read.
+        row: u64,
+    },
+    /// A transactional in-place update of one (unsigned-integer) field of
+    /// the row-oriented base data.
+    PointUpdate {
+        /// The row-major base table.
+        table: &'a RowTable,
+        /// Row to update.
+        row: u64,
+        /// Column to overwrite (must be a `UInt` column).
+        column: usize,
+        /// New value (masked to the column width).
+        value: u64,
+    },
+    /// A transactional delete: ends the row's current version at `ts`
+    /// (requires an MVCC table).
+    PointDelete {
+        /// The row-major base table.
+        table: &'a RowTable,
+        /// Row to delete.
+        row: u64,
+        /// End timestamp of the version.
+        ts: Timestamp,
+    },
+    /// Sets the stream's current snapshot to read at `ts`. Takes no
+    /// simulated time — acquiring a read timestamp is a counter increment
+    /// on real MVCC systems.
+    TakeSnapshot {
+        /// Read timestamp of the snapshot.
+        ts: Timestamp,
+    },
+}
+
+impl<'a> WorkloadOp<'a> {
+    /// An OLAP scan using the snapshot embedded in the source (if any).
+    pub fn olap(source: ScanSource<'a>) -> Self {
+        WorkloadOp::OlapScan {
+            source,
+            stream_snapshot: false,
+        }
+    }
+
+    /// Which [`OpKind`] this op reports as.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            WorkloadOp::OlapScan { .. } => OpKind::OlapScan,
+            WorkloadOp::PointLookup { .. } => OpKind::PointLookup,
+            WorkloadOp::PointUpdate { .. } => OpKind::PointUpdate,
+            WorkloadOp::PointDelete { .. } => OpKind::PointDelete,
+            WorkloadOp::TakeSnapshot { .. } => OpKind::TakeSnapshot,
+        }
+    }
+}
+
+/// One core's query stream: operations executed in order.
+pub struct QueryStream<'a> {
+    /// The operations, executed front to back.
+    pub ops: Vec<WorkloadOp<'a>>,
+}
+
+impl<'a> QueryStream<'a> {
+    /// A stream running `ops` in order.
+    pub fn new(ops: Vec<WorkloadOp<'a>>) -> Self {
+        QueryStream { ops }
+    }
+
+    /// A stream with no work (its core stays idle).
+    pub fn empty() -> Self {
+        QueryStream { ops: Vec::new() }
+    }
+}
+
+/// A mixed workload: stream `i` runs on core `i`.
+pub struct Workload<'a> {
+    /// Per-core streams. May be shorter than the core count (the remaining
+    /// cores idle) but never longer.
+    pub streams: Vec<QueryStream<'a>>,
+}
+
+impl<'a> Workload<'a> {
+    /// A workload of the given per-core streams.
+    pub fn new(streams: Vec<QueryStream<'a>>) -> Self {
+        Workload { streams }
+    }
+}
+
+/// Classification of a finished operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Analytical scan.
+    OlapScan,
+    /// Transactional point read.
+    PointLookup,
+    /// Transactional in-place update.
+    PointUpdate,
+    /// Transactional delete.
+    PointDelete,
+    /// Snapshot acquisition (zero-time).
+    TakeSnapshot,
+}
+
+impl OpKind {
+    /// Whether the op counts as OLTP for latency reporting.
+    pub fn is_oltp(&self) -> bool {
+        matches!(
+            self,
+            OpKind::PointLookup | OpKind::PointUpdate | OpKind::PointDelete
+        )
+    }
+}
+
+/// One finished operation of a stream.
+#[derive(Debug, Clone, Copy)]
+pub struct OpOutcome {
+    /// Index of the op in its stream.
+    pub op: usize,
+    /// What kind of op it was.
+    pub kind: OpKind,
+    /// Local time the op started.
+    pub start: SimTime,
+    /// Local time the op completed.
+    pub end: SimTime,
+    /// Rows processed (scan rows, or 1 / 0 for point ops depending on
+    /// MVCC visibility).
+    pub rows: u64,
+}
+
+impl OpOutcome {
+    /// End-to-end latency of the op.
+    pub fn latency(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// One stream's (= one core's) results.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// The core the stream ran on.
+    pub core: usize,
+    /// Per-op outcomes, in stream order.
+    pub ops: Vec<OpOutcome>,
+    /// The stream's completion time.
+    pub end: SimTime,
+    /// CPU time the stream charged.
+    pub cpu: SimTime,
+    /// Rows the stream processed across all its ops.
+    pub rows: u64,
+    /// The core's cache counters for the whole measurement window,
+    /// including its share of shared-L2 contention delay.
+    pub cache: HierarchyStats,
+}
+
+/// Outcome of a [`System::run_workload`] call.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Completion of the slowest stream (the workload's makespan).
+    pub end: SimTime,
+    /// Total CPU time across streams.
+    pub cpu: SimTime,
+    /// Total rows processed across streams.
+    pub rows: u64,
+    /// Per-stream results, indexed by core.
+    pub streams: Vec<StreamReport>,
+}
+
+impl WorkloadRun {
+    /// Latency samples of every OLTP op (point lookups, updates, deletes)
+    /// across all streams — feed into p50/p99 queries.
+    pub fn oltp_latencies(&self) -> LatencyProfile {
+        let mut profile = LatencyProfile::new();
+        for stream in &self.streams {
+            for op in &stream.ops {
+                if op.kind.is_oltp() {
+                    profile.push(op.latency());
+                }
+            }
+        }
+        profile
+    }
+
+    /// Total rows scanned by OLAP ops across all streams.
+    pub fn olap_rows(&self) -> u64 {
+        self.streams
+            .iter()
+            .flat_map(|s| s.ops.iter())
+            .filter(|o| o.kind == OpKind::OlapScan)
+            .map(|o| o.rows)
+            .sum()
+    }
+}
+
+/// A stream's in-progress OLAP scan.
+struct ActiveScan<'a> {
+    job: ScanJob<'a>,
+    next_row: u64,
+    rows_scanned: u64,
+    op: usize,
+    start: SimTime,
+}
+
+/// Per-stream scheduler state.
+struct StreamState<'a, 'w> {
+    ops: &'w [WorkloadOp<'a>],
+    /// Next op to start (ops before it are finished or active).
+    next_op: usize,
+    active: Option<ActiveScan<'a>>,
+    now: SimTime,
+    cpu: SimTime,
+    rows: u64,
+    snapshot: Option<Snapshot>,
+    values: Vec<u64>,
+    outcomes: Vec<OpOutcome>,
+}
+
+impl StreamState<'_, '_> {
+    fn finished(&self) -> bool {
+        self.active.is_none() && self.next_op >= self.ops.len()
+    }
+}
+
+/// The unfinished stream with the smallest local clock among those
+/// matching `filter` (ties broken by lowest core index), or `None`.
+fn pick_stream(
+    states: &[StreamState<'_, '_>],
+    filter: impl Fn(&StreamState<'_, '_>) -> bool,
+) -> Option<usize> {
+    let mut pick: Option<usize> = None;
+    for (i, st) in states.iter().enumerate() {
+        if !st.finished() && filter(st) && pick.is_none_or(|p| st.now < states[p].now) {
+            pick = Some(i);
+        }
+    }
+    pick
+}
+
+impl System {
+    /// Runs a mixed HTAP workload: stream `i` of `workload` executes on
+    /// core `i`, all streams concurrently in simulated time under
+    /// deterministic min-clock interleaving (see the module docs).
+    ///
+    /// `observer` is invoked as `(core, op_index, row, values)` for every
+    /// row an OLAP scan produces and for every point lookup/update (with
+    /// the read — or written — values); its [`RowEffect`] models the
+    /// downstream work (aggregation CPU, an extra memory touch). It is not
+    /// called for [`WorkloadOp::TakeSnapshot`], point deletes or rows
+    /// invisible under the governing snapshot.
+    ///
+    /// # Panics
+    /// Panics if the workload has more streams than the system has cores,
+    /// if a point op addresses a row outside its table, if a
+    /// [`WorkloadOp::PointUpdate`] targets a non-`UInt` column, or if a
+    /// [`WorkloadOp::PointDelete`] targets a table without MVCC headers.
+    pub fn run_workload<F>(
+        &mut self,
+        workload: &Workload<'_>,
+        start: SimTime,
+        mut observer: F,
+    ) -> WorkloadRun
+    where
+        F: FnMut(usize, usize, u64, &[u64]) -> RowEffect,
+    {
+        assert!(
+            workload.streams.len() <= self.cores.len(),
+            "workload has {} streams but the system only has {} cores",
+            workload.streams.len(),
+            self.cores.len()
+        );
+        let mut states: Vec<StreamState<'_, '_>> = workload
+            .streams
+            .iter()
+            .map(|stream| StreamState {
+                ops: &stream.ops,
+                next_op: 0,
+                active: None,
+                now: start,
+                cpu: SimTime::ZERO,
+                rows: 0,
+                snapshot: None,
+                values: Vec::new(),
+                outcomes: Vec::new(),
+            })
+            .collect();
+
+        loop {
+            // Frame-aware pick, arbitrated like the sharded scheduler but
+            // only *among the streams that use the Reorganization Buffer*:
+            // streams whose next unit is an ephemeral row prefer the RME's
+            // resident frame (bounding frame turnovers), while every other
+            // stream competes purely by local clock — a point-query stream
+            // must never defer a frame turnover it does not participate
+            // in, nor be deferred by one.
+            let resident = self.engine.resident_frame();
+            let ephemeral_next = |st: &StreamState<'_, '_>| {
+                st.active
+                    .as_ref()
+                    .is_some_and(|a| a.job.frame_rows().is_some())
+            };
+            let in_resident_frame = |st: &StreamState<'_, '_>| {
+                st.active.as_ref().is_some_and(|a| {
+                    a.job
+                        .frame_rows()
+                        .is_some_and(|fr| resident == Some(a.next_row / fr))
+                })
+            };
+            let plain = pick_stream(&states, |st| !ephemeral_next(st));
+            let eph = pick_stream(&states, |st| ephemeral_next(st) && in_resident_frame(st))
+                .or_else(|| pick_stream(&states, ephemeral_next));
+            let pick = match (plain, eph) {
+                (Some(a), Some(b)) => {
+                    // Smaller local clock wins; ties go to the lower core
+                    // index, matching the global pick rule.
+                    if states[b].now < states[a].now {
+                        Some(b)
+                    } else if states[a].now < states[b].now {
+                        Some(a)
+                    } else {
+                        Some(a.min(b))
+                    }
+                }
+                (a, b) => a.or(b),
+            };
+            let Some(core) = pick else {
+                break;
+            };
+            self.step_stream(core, &mut states[core], &mut observer);
+        }
+
+        let mut end = SimTime::ZERO;
+        let mut cpu = SimTime::ZERO;
+        let mut rows = 0u64;
+        let mut streams = Vec::with_capacity(states.len());
+        for (core, st) in states.into_iter().enumerate() {
+            end = end.max(st.now);
+            cpu += st.cpu;
+            rows += st.rows;
+            streams.push(StreamReport {
+                core,
+                ops: st.outcomes,
+                end: st.now,
+                cpu: st.cpu,
+                rows: st.rows,
+                cache: *self.cores[core].stats(),
+            });
+        }
+        WorkloadRun {
+            end,
+            cpu,
+            rows,
+            streams,
+        }
+    }
+
+    /// Advances one stream by one unit: a row of the active scan, or one
+    /// whole point op. Zero-time units (scan start, empty scan,
+    /// `TakeSnapshot`) leave the clock untouched.
+    fn step_stream<F>(&mut self, core: usize, st: &mut StreamState<'_, '_>, observer: &mut F)
+    where
+        F: FnMut(usize, usize, u64, &[u64]) -> RowEffect,
+    {
+        // One row of the in-progress scan, if any.
+        if let Some(active) = &mut st.active {
+            let row = active.next_row;
+            active.next_row += 1;
+            let op = active.op;
+            let step = active.job.step_row(
+                self.parts(),
+                core,
+                row,
+                st.now,
+                &mut st.values,
+                &mut |r, v| observer(core, op, r, v),
+            );
+            st.now = step.now;
+            st.cpu += step.cpu;
+            if step.scanned {
+                active.rows_scanned += 1;
+                st.rows += 1;
+            }
+            if active.next_row >= active.job.rows() {
+                st.outcomes.push(OpOutcome {
+                    op: active.op,
+                    kind: OpKind::OlapScan,
+                    start: active.start,
+                    end: st.now,
+                    rows: active.rows_scanned,
+                });
+                st.active = None;
+            }
+            return;
+        }
+
+        // Otherwise start/execute the next op. Copy the slice reference
+        // out so the borrows of the op don't pin `st` itself.
+        let ops = st.ops;
+        let op_idx = st.next_op;
+        st.next_op += 1;
+        match &ops[op_idx] {
+            WorkloadOp::OlapScan {
+                source,
+                stream_snapshot,
+            } => {
+                let mut source = *source;
+                if *stream_snapshot {
+                    if let ScanSource::Rows { snapshot, .. } = &mut source {
+                        *snapshot = st.snapshot;
+                    }
+                }
+                let job = ScanJob::new(&source, &self.cost, &self.engine);
+                if job.rows() == 0 {
+                    st.outcomes.push(OpOutcome {
+                        op: op_idx,
+                        kind: OpKind::OlapScan,
+                        start: st.now,
+                        end: st.now,
+                        rows: 0,
+                    });
+                    return;
+                }
+                st.values.resize(job.num_columns(), 0);
+                st.values.fill(0);
+                st.active = Some(ActiveScan {
+                    job,
+                    next_row: 0,
+                    rows_scanned: 0,
+                    op: op_idx,
+                    start: st.now,
+                });
+            }
+            WorkloadOp::PointLookup {
+                table,
+                columns,
+                row,
+            } => {
+                let outcome =
+                    self.point_lookup(core, st, op_idx, table, columns, *row, observer);
+                st.outcomes.push(outcome);
+            }
+            WorkloadOp::PointUpdate {
+                table,
+                row,
+                column,
+                value,
+            } => {
+                let outcome =
+                    self.point_update(core, st, op_idx, table, *row, *column, *value, observer);
+                st.outcomes.push(outcome);
+            }
+            WorkloadOp::PointDelete { table, row, ts } => {
+                let outcome = self.point_delete(core, st, op_idx, table, *row, *ts);
+                st.outcomes.push(outcome);
+            }
+            WorkloadOp::TakeSnapshot { ts } => {
+                st.snapshot = Some(Snapshot::at(*ts));
+                st.outcomes.push(OpOutcome {
+                    op: op_idx,
+                    kind: OpKind::TakeSnapshot,
+                    start: st.now,
+                    end: st.now,
+                    rows: 0,
+                });
+            }
+        }
+    }
+
+    /// A point read: optional MVCC visibility check under the stream's
+    /// snapshot, then one cache access per projected field.
+    #[allow(clippy::too_many_arguments)] // private scheduler helper
+    fn point_lookup<F>(
+        &mut self,
+        core: usize,
+        st: &mut StreamState<'_, '_>,
+        op_idx: usize,
+        table: &RowTable,
+        columns: &[usize],
+        row: u64,
+        observer: &mut F,
+    ) -> OpOutcome
+    where
+        F: FnMut(usize, usize, u64, &[u64]) -> RowEffect,
+    {
+        let start = st.now;
+        let mut now = st.now;
+        let front = &mut self.cores[core];
+        let mut backend = DramBackend {
+            dram: &mut self.dram,
+            line_bytes: self.cfg.l1.line_bytes,
+            core,
+        };
+        if table.mvcc().is_enabled() {
+            if let Some(snap) = st.snapshot {
+                let out = front.access(table.row_addr(row), 16, now, &mut self.l2, &mut backend);
+                now = out.completion + self.cost.visibility();
+                st.cpu += self.cost.visibility();
+                if !table.visible(&self.mem, row, snap).unwrap_or(false) {
+                    st.now = now;
+                    return OpOutcome {
+                        op: op_idx,
+                        kind: OpKind::PointLookup,
+                        start,
+                        end: now,
+                        rows: 0,
+                    };
+                }
+            }
+        }
+        st.values.resize(columns.len(), 0);
+        for (slot, &col) in columns.iter().enumerate() {
+            let addr = table.field_addr(row, col).expect("row in range");
+            let width = table.schema().width(col).expect("valid column");
+            let out = front.access(addr, width, now, &mut self.l2, &mut backend);
+            now = out.completion;
+            st.values[slot] = self.mem.read_uint(addr, width.min(8));
+        }
+        let effect = observer(core, op_idx, row, &st.values);
+        let cpu = self.cost.fields(columns.len()) + effect.cpu;
+        now += cpu;
+        st.cpu += cpu;
+        if let Some((addr, bytes)) = effect.touch {
+            now = front
+                .access(addr, bytes, now, &mut self.l2, &mut backend)
+                .completion;
+        }
+        st.now = now;
+        st.rows += 1;
+        OpOutcome {
+            op: op_idx,
+            kind: OpKind::PointLookup,
+            start,
+            end: now,
+            rows: 1,
+        }
+    }
+
+    /// An in-place field update: one cache write (timing) plus the actual
+    /// store into physical memory, so later readers — including the RME's
+    /// packing — see the new value.
+    #[allow(clippy::too_many_arguments)] // private scheduler helper
+    fn point_update<F>(
+        &mut self,
+        core: usize,
+        st: &mut StreamState<'_, '_>,
+        op_idx: usize,
+        table: &RowTable,
+        row: u64,
+        column: usize,
+        value: u64,
+        observer: &mut F,
+    ) -> OpOutcome
+    where
+        F: FnMut(usize, usize, u64, &[u64]) -> RowEffect,
+    {
+        let start = st.now;
+        let mut now = st.now;
+        let front = &mut self.cores[core];
+        let mut backend = DramBackend {
+            dram: &mut self.dram,
+            line_bytes: self.cfg.l1.line_bytes,
+            core,
+        };
+        let addr = table.field_addr(row, column).expect("row in range");
+        let width = table.schema().width(column).expect("valid column");
+        let masked = if width >= 8 {
+            value
+        } else {
+            value & ((1u64 << (8 * width)) - 1)
+        };
+        let out = front.write(addr, width, now, &mut self.l2, &mut backend);
+        now = out.completion;
+        table
+            .write_field(&mut self.mem, row, column, &Value::UInt(masked))
+            .expect("point updates target UInt columns");
+        st.values.resize(1, 0);
+        st.values[0] = masked;
+        let effect = observer(core, op_idx, row, &st.values[..1]);
+        let cpu = self.cost.fields(1) + effect.cpu;
+        now += cpu;
+        st.cpu += cpu;
+        if let Some((addr, bytes)) = effect.touch {
+            now = front
+                .access(addr, bytes, now, &mut self.l2, &mut backend)
+                .completion;
+        }
+        st.now = now;
+        st.rows += 1;
+        OpOutcome {
+            op: op_idx,
+            kind: OpKind::PointUpdate,
+            start,
+            end: now,
+            rows: 1,
+        }
+    }
+
+    /// A delete: one cache write of the 16-byte version header plus the
+    /// actual header store ending the version at `ts`.
+    fn point_delete(
+        &mut self,
+        core: usize,
+        st: &mut StreamState<'_, '_>,
+        op_idx: usize,
+        table: &RowTable,
+        row: u64,
+        ts: Timestamp,
+    ) -> OpOutcome {
+        let start = st.now;
+        let front = &mut self.cores[core];
+        let mut backend = DramBackend {
+            dram: &mut self.dram,
+            line_bytes: self.cfg.l1.line_bytes,
+            core,
+        };
+        let out = front.write(table.row_addr(row), 16, st.now, &mut self.l2, &mut backend);
+        let now = out.completion + self.cost.visibility();
+        st.cpu += self.cost.visibility();
+        table
+            .mark_deleted(&mut self.mem, row, ts)
+            .expect("point deletes require an MVCC table and a row in range");
+        st.now = now;
+        st.rows += 1;
+        OpOutcome {
+            op: op_idx,
+            kind: OpKind::PointDelete,
+            start,
+            end: now,
+            rows: 1,
+        }
+    }
+}

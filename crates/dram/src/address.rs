@@ -6,6 +6,19 @@
 //! rows of the same bank are `banks × row_bytes` apart, which spreads
 //! sequential streams across banks — the behaviour the RME's Requestor
 //! exploits when it issues outstanding fetches.
+//!
+//! # Bank-index hashing
+//!
+//! The plain interleaving has a pathology: two streams whose start
+//! addresses differ by a multiple of `banks × row_bytes` (e.g. the shards
+//! of a sharded scan over a power-of-two-sized table) land on the *same*
+//! bank at every step and serialize there while the other banks idle. Real
+//! controllers break the pattern by hashing higher address bits into the
+//! bank index; [`AddressMapping::with_hash`] implements the standard
+//! row-XOR permutation (`bank = bank_bits ⊕ row_bits`, an additive
+//! rotation for non-power-of-two bank counts). The permutation is exact —
+//! [`encode`](AddressMapping::encode) inverts it — and is enabled by
+//! default through `DramConfig::xor_bank_hash`.
 
 /// Maps physical addresses to (bank, row, column) coordinates.
 ///
@@ -23,6 +36,8 @@ pub struct AddressMapping {
     bank_mask: Option<u64>,
     /// `log2(banks)` when `banks` is a power of two.
     bank_shift: u32,
+    /// Whether the row-XOR bank permutation is applied (see module docs).
+    xor_hash: bool,
 }
 
 /// A decoded DRAM coordinate.
@@ -37,8 +52,15 @@ pub struct DramCoord {
 }
 
 impl AddressMapping {
-    /// Creates a mapping for `banks` banks of `row_bytes`-byte rows.
+    /// Creates a mapping for `banks` banks of `row_bytes`-byte rows with
+    /// the plain "row : bank : column" interleaving (no bank hashing).
     pub fn new(banks: usize, row_bytes: usize) -> Self {
+        AddressMapping::with_hash(banks, row_bytes, false)
+    }
+
+    /// Creates a mapping with the bank-index hash switched on or off (see
+    /// the module docs for what the hash buys).
+    pub fn with_hash(banks: usize, row_bytes: usize, xor_hash: bool) -> Self {
         assert!(banks >= 1 && row_bytes >= 1);
         AddressMapping {
             banks,
@@ -48,6 +70,7 @@ impl AddressMapping {
                 .then(|| row_bytes.trailing_zeros()),
             bank_mask: banks.is_power_of_two().then_some(banks as u64 - 1),
             bank_shift: banks.trailing_zeros(),
+            xor_hash,
         }
     }
 
@@ -71,7 +94,7 @@ impl AddressMapping {
                 (addr % self.row_bytes as u64) as usize,
             ),
         };
-        let (bank, row) = match self.bank_mask {
+        let (bank_raw, row) = match self.bank_mask {
             Some(mask) => (
                 (row_global & mask) as usize,
                 row_global >> self.bank_shift,
@@ -81,13 +104,49 @@ impl AddressMapping {
                 row_global / self.banks as u64,
             ),
         };
-        DramCoord { bank, row, column }
+        DramCoord {
+            bank: self.hash_bank(bank_raw, row),
+            row,
+            column,
+        }
+    }
+
+    /// Applies the bank permutation for a given DRAM row: XOR with the low
+    /// row bits when the bank count is a power of two, an additive rotation
+    /// by `row mod banks` otherwise. Identity when hashing is off.
+    #[inline]
+    fn hash_bank(&self, bank_raw: usize, row: u64) -> usize {
+        if !self.xor_hash {
+            return bank_raw;
+        }
+        match self.bank_mask {
+            Some(mask) => bank_raw ^ (row & mask) as usize,
+            None => (bank_raw + (row % self.banks as u64) as usize) % self.banks,
+        }
+    }
+
+    /// Inverts [`hash_bank`](Self::hash_bank): recovers the raw
+    /// interleaving index from a (hashed) bank number and its row.
+    #[inline]
+    fn unhash_bank(&self, bank: usize, row: u64) -> usize {
+        if !self.xor_hash {
+            return bank;
+        }
+        match self.bank_mask {
+            // XOR is an involution.
+            Some(mask) => bank ^ (row & mask) as usize,
+            None => {
+                let rot = (row % self.banks as u64) as usize;
+                (bank + self.banks - rot) % self.banks
+            }
+        }
     }
 
     /// Re-encodes a coordinate back into an address (inverse of
     /// [`decode`](Self::decode)).
     pub fn encode(&self, coord: DramCoord) -> u64 {
-        let row_global = coord.row * self.banks as u64 + coord.bank as u64;
+        let bank_raw = self.unhash_bank(coord.bank, coord.row) as u64;
+        let row_global = coord.row * self.banks as u64 + bank_raw;
         row_global * self.row_bytes as u64 + coord.column as u64
     }
 
@@ -171,10 +230,40 @@ mod tests {
         assert_eq!(single, vec![(0, 64)]);
     }
 
+    #[test]
+    fn xor_hash_decorrelates_power_of_two_strides() {
+        // Addresses `banks × row_bytes` apart share a bank under the plain
+        // interleaving; the hash sends each to a different bank.
+        let plain = AddressMapping::new(16, 2048);
+        let hashed = AddressMapping::with_hash(16, 2048, true);
+        let stride = 16 * 2048u64;
+        let plain_banks: std::collections::BTreeSet<usize> =
+            (0..16u64).map(|i| plain.decode(i * stride).bank).collect();
+        let hashed_banks: std::collections::BTreeSet<usize> =
+            (0..16u64).map(|i| hashed.decode(i * stride).bank).collect();
+        assert_eq!(plain_banks.len(), 1);
+        assert_eq!(hashed_banks.len(), 16);
+        // Within one DRAM row nothing changes: the permutation only mixes
+        // row bits into the bank index.
+        assert_eq!(hashed.decode(100).column, 100);
+        assert_eq!(hashed.decode(0).row, hashed.decode(100).row);
+    }
+
     proptest! {
         #[test]
         fn encode_decode_roundtrip(addr in 0u64..1_000_000_000u64, banks in 1usize..32, row_pow in 7u32..14) {
             let m = AddressMapping::new(banks, 1 << row_pow);
+            let coord = m.decode(addr);
+            prop_assert_eq!(m.encode(coord), addr);
+            prop_assert!(coord.bank < banks);
+            prop_assert!(coord.column < (1 << row_pow));
+        }
+
+        /// The hashed mapping stays a bijection for every geometry,
+        /// power-of-two bank counts (XOR) and otherwise (rotation) alike.
+        #[test]
+        fn hashed_encode_decode_roundtrip(addr in 0u64..1_000_000_000u64, banks in 1usize..32, row_pow in 7u32..14) {
+            let m = AddressMapping::with_hash(banks, 1 << row_pow, true);
             let coord = m.decode(addr);
             prop_assert_eq!(m.encode(coord), addr);
             prop_assert!(coord.bank < banks);

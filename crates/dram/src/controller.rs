@@ -82,7 +82,7 @@ pub struct DramController {
 impl DramController {
     /// Creates a controller from the platform's DRAM configuration.
     pub fn new(cfg: DramConfig) -> Self {
-        let mapping = AddressMapping::new(cfg.banks, cfg.row_bytes);
+        let mapping = AddressMapping::with_hash(cfg.banks, cfg.row_bytes, cfg.xor_bank_hash);
         DramController {
             open_rows: vec![None; cfg.banks],
             banks: MultiResource::new("dram-banks", cfg.banks),
@@ -247,11 +247,53 @@ mod tests {
         assert!(b.finish <= a.finish + SimTime::from_picos(1_250) + SimTime::from_picos(1));
 
         // Same bank, back-to-back, ready at 0: the second waits for the bank.
+        // The same-bank partner is constructed through the mapping so the
+        // test holds with the (default-on) bank hash as well.
         let mut c2 = DramController::new(DramConfig::default());
         let a2 = c2.access(MemRequest::new(0, 16, SimTime::ZERO));
-        let banks = c2.mapping().banks() as u64;
-        let b2 = c2.access(MemRequest::new(row * banks, 16, SimTime::ZERO));
+        let bank0 = c2.mapping().decode(0).bank;
+        let partner = c2.mapping().encode(crate::address::DramCoord {
+            bank: bank0,
+            row: 1,
+            column: 0,
+        });
+        assert_eq!(c2.mapping().decode(partner).bank, bank0);
+        let b2 = c2.access(MemRequest::new(partner, 16, SimTime::ZERO));
         assert!(b2.finish > a2.finish, "same-bank accesses must serialize");
+    }
+
+    /// Regression test for the power-of-two shard bank-camping pathology:
+    /// four streams whose start addresses differ by `banks × row_bytes`
+    /// (the shard layout of a sharded scan over a power-of-two table) camp
+    /// on one bank under the plain interleaving but spread across banks —
+    /// and finish sooner — with the XOR hash on.
+    #[test]
+    fn xor_hash_breaks_power_of_two_shard_bank_camping() {
+        let run = |xor_bank_hash: bool| {
+            let cfg = DramConfig {
+                xor_bank_hash,
+                ..DramConfig::default()
+            };
+            let stride = (cfg.banks * cfg.row_bytes) as u64; // power-of-two shard size
+            let mut c = DramController::new(cfg);
+            let mut banks_touched = std::collections::BTreeSet::new();
+            let mut last = SimTime::ZERO;
+            for shard in 0..4u64 {
+                let addr = shard * stride;
+                banks_touched.insert(c.mapping().decode(addr).bank);
+                let done = c.access(MemRequest::new(addr, 64, SimTime::ZERO));
+                last = last.max(done.finish);
+            }
+            (banks_touched.len(), last)
+        };
+        let (spread_plain, finish_plain) = run(false);
+        let (spread_hashed, finish_hashed) = run(true);
+        assert_eq!(spread_plain, 1, "plain mapping camps all shards on one bank");
+        assert_eq!(spread_hashed, 4, "hashed mapping spreads shards across banks");
+        assert!(
+            finish_hashed < finish_plain,
+            "spreading must unserialize the shard openings ({finish_hashed} vs {finish_plain})"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod controller;
 pub mod phys;
 pub mod request;
 
-pub use address::AddressMapping;
+pub use address::{AddressMapping, DramCoord};
 pub use controller::{DramController, DramStats};
 pub use phys::PhysicalMemory;
 pub use request::{Completion, MemRequest, Requestor};

@@ -49,6 +49,12 @@ pub struct RmeEngine {
     /// funnel through the one Trapper, whose outstanding-transaction limit
     /// is what arbitrates concurrent CPU-side traffic.
     per_core_requests: Vec<u64>,
+    /// Total service time (request ready → line delivered) attributed per
+    /// CPU core. Per-stream cost attribution for HTAP workloads: each core
+    /// runs one query stream, so this is how long each *stream* spent
+    /// waiting on the engine — including any frame turnovers its requests
+    /// triggered.
+    per_core_service: Vec<SimTime>,
 }
 
 #[derive(Debug, Clone)]
@@ -134,6 +140,7 @@ impl RmeEngine {
             line_bytes,
             stats: RmeStats::default(),
             per_core_requests: Vec::new(),
+            per_core_service: Vec::new(),
         }
     }
 
@@ -260,6 +267,7 @@ impl RmeEngine {
     ) -> SimTime {
         if self.per_core_requests.len() <= core {
             self.per_core_requests.resize(core + 1, 0);
+            self.per_core_service.resize(core + 1, SimTime::ZERO);
         }
         self.per_core_requests[core] += 1;
         assert!(
@@ -294,9 +302,12 @@ impl RmeEngine {
             }
         };
 
-        self.trapper
+        let finish = self
+            .trapper
             .respond(axi.id, data_ready_pl, self.line_bytes)
-            .data_ready
+            .data_ready;
+        self.per_core_service[core] += finish.saturating_sub(ready);
+        finish
     }
 
     /// Reads `len` packed bytes at ephemeral-range offset `addr`. Falls back
@@ -370,12 +381,20 @@ impl RmeEngine {
         }
         self.stats = RmeStats::default();
         self.per_core_requests.clear();
+        self.per_core_service.clear();
     }
 
     /// Line requests served per CPU core since the last timing reset
     /// (indexed by core; empty if no requests were served).
     pub fn per_core_requests(&self) -> &[u64] {
         &self.per_core_requests
+    }
+
+    /// Total engine service time (request ready → line delivered)
+    /// attributed per CPU core since the last timing reset. With one query
+    /// stream per core this is per-*stream* attribution of engine cost.
+    pub fn per_core_service_time(&self) -> &[SimTime] {
+        &self.per_core_service
     }
 
     /// The frame currently resident in the Reorganization Buffer, if any.

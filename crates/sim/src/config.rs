@@ -88,6 +88,15 @@ pub struct DramConfig {
     pub t_ccd: SimTime,
     /// Fixed controller/front-end overhead per request (queueing, PHY).
     pub controller_overhead: SimTime,
+    /// Permute the bank index with the DRAM row bits (an XOR hash for
+    /// power-of-two bank counts, an additive rotation otherwise), the way
+    /// real controllers decorrelate bank camping from power-of-two access
+    /// strides. Without it, streams whose start addresses differ by a
+    /// multiple of `banks × row_bytes` — e.g. the shards of a sharded scan
+    /// over a power-of-two-sized table — all open the same bank in
+    /// lockstep and serialize there. On by default; switch off for the
+    /// plain "row : bank : column" interleaving.
+    pub xor_bank_hash: bool,
 }
 
 impl Default for DramConfig {
@@ -105,6 +114,7 @@ impl Default for DramConfig {
             t_rp: SimTime::from_nanos_f64(14.0),
             t_ccd: SimTime::from_nanos_f64(5.0),
             controller_overhead: SimTime::from_nanos_f64(20.0),
+            xor_bank_hash: true,
         }
     }
 }

@@ -24,5 +24,5 @@ pub mod time;
 pub use clock::ClockDomain;
 pub use config::{CacheLevelConfig, CdcConfig, CpuConfig, DramConfig, PlatformConfig, RmeHwConfig};
 pub use resource::{MultiResource, Resource};
-pub use stats::{Counter, MeanStd};
+pub use stats::{Counter, LatencyProfile, MeanStd};
 pub use time::SimTime;

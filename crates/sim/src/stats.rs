@@ -4,8 +4,96 @@
 //! standard deviations; [`MeanStd`] provides the same summary for the
 //! harness. [`Counter`] is a named event counter used by the hardware
 //! models (cache requests, DRAM bursts, RME buffer hits, ...).
+//! [`LatencyProfile`] summarises per-operation latency samples into the
+//! percentiles the HTAP workload harness reports (OLTP p50/p99 under
+//! concurrent analytical scans).
 
 use std::fmt;
+
+use crate::time::SimTime;
+
+/// A collection of per-operation latency samples with percentile queries.
+///
+/// Used by the workload layer to report OLTP tail latencies: each point
+/// query contributes one sample, and the harness asks for p50/p99. Samples
+/// are kept as exact [`SimTime`] values so summaries stay deterministic.
+///
+/// ```
+/// use relmem_sim::{LatencyProfile, SimTime};
+///
+/// let mut lat = LatencyProfile::new();
+/// for ns in [10u64, 20, 30, 40, 50] {
+///     lat.push(SimTime::from_nanos(ns));
+/// }
+/// assert_eq!(lat.count(), 5);
+/// assert_eq!(lat.p50(), SimTime::from_nanos(30));
+/// assert_eq!(lat.p99(), SimTime::from_nanos(50));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyProfile {
+    samples: Vec<SimTime>,
+    sorted: bool,
+}
+
+impl LatencyProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        LatencyProfile {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn push(&mut self, latency: SimTime) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `p`-th percentile (`0.0 ..= 1.0`) using the nearest-rank method,
+    /// or [`SimTime::ZERO`] when no samples were recorded.
+    pub fn percentile(&mut self, p: f64) -> SimTime {
+        if self.samples.is_empty() {
+            return SimTime::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.samples.len() as f64).ceil() as usize).max(1);
+        self.samples[rank - 1]
+    }
+
+    /// Median latency.
+    pub fn p50(&mut self) -> SimTime {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&mut self) -> SimTime {
+        self.percentile(0.99)
+    }
+
+    /// Largest sample (or zero when empty).
+    pub fn max(&mut self) -> SimTime {
+        self.percentile(1.0)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty) — for throughput-style
+    /// summaries next to the percentiles.
+    pub fn mean_nanos(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.as_nanos_f64()).sum::<f64>() / self.samples.len() as f64
+    }
+}
 
 /// A named monotonically increasing event counter.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -172,6 +260,21 @@ mod tests {
         one.push(42.0);
         assert_eq!(one.mean(), 42.0);
         assert_eq!(one.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let mut lat = LatencyProfile::new();
+        assert_eq!(lat.p99(), SimTime::ZERO);
+        for ns in (1..=100u64).rev() {
+            lat.push(SimTime::from_nanos(ns));
+        }
+        assert_eq!(lat.count(), 100);
+        assert_eq!(lat.p50(), SimTime::from_nanos(50));
+        assert_eq!(lat.p99(), SimTime::from_nanos(99));
+        assert_eq!(lat.max(), SimTime::from_nanos(100));
+        assert_eq!(lat.percentile(0.0), SimTime::from_nanos(1));
+        assert!((lat.mean_nanos() - 50.5).abs() < 1e-9);
     }
 
     #[test]

@@ -92,6 +92,7 @@ mod scan_equivalence {
     use super::*;
     use relational_memory::cache::HierarchyStats;
     use relational_memory::core::system::RowEffect;
+    use relational_memory::core::workload::{QueryStream, Workload, WorkloadOp};
     use relational_memory::dram::DramStats;
     use relational_memory::storage::MvccConfig;
 
@@ -139,6 +140,12 @@ mod scan_equivalence {
         /// every row, stepped in order, with the L2 contention model
         /// bypassed.
         ShardedOneCore,
+        /// `System::run_workload` with a single one-scan stream on a
+        /// single core (fast path on). Must be bit-identical to
+        /// `Optimized`: the workload scheduler has one stream to pick, so
+        /// the scan's rows execute in order through the same per-row
+        /// stepper, with the L2 contention model bypassed.
+        WorkloadOneCore,
     }
 
     /// Builds a system + table deterministically and runs one scan through
@@ -246,6 +253,18 @@ mod scan_equivalence {
                 });
                 (run.end, run.cpu, run.rows)
             }
+            Engine::WorkloadOneCore => {
+                let workload =
+                    Workload::new(vec![QueryStream::new(vec![WorkloadOp::olap(source)])]);
+                let run =
+                    sys.run_workload(&workload, SimTime::ZERO, |core, op, row, vals: &[u64]| {
+                        assert_eq!(core, 0, "one stream runs on core 0");
+                        assert_eq!(op, 0, "the stream holds a single op");
+                        values.push(vals.to_vec());
+                        effect_of(row)
+                    });
+                (run.end, run.cpu, run.rows)
+            }
         };
         let m = sys.finish_measurement(end, cpu, path);
         ScanRecord {
@@ -302,6 +321,28 @@ mod scan_equivalence {
                 let scan = run_case(kind, Engine::Optimized, seed, &widths, rows, &columns);
                 let sharded = run_case(kind, Engine::ShardedOneCore, seed, &widths, rows, &columns);
                 prop_assert_eq!(&scan, &sharded, "diverged for {:?}", kind);
+            }
+        }
+
+        /// A workload holding a single one-scan stream on one core must be
+        /// bit-identical to `System::scan` — same completion time, CPU
+        /// time, values and every cache/DRAM/RME counter — for every
+        /// source kind, with and without MVCC snapshot filtering. This is
+        /// the `cores = 1` equivalence guarantee of the workload-stream
+        /// subsystem: the HTAP scheduler adds concurrency, never cost.
+        #[test]
+        fn single_stream_workload_is_bit_identical_to_scan(
+            widths in proptest::collection::vec(1usize..=12, 2..=6),
+            rows in 1u64..250,
+            seed in 0u64..1_000,
+            pick in proptest::collection::vec(any::<bool>(), 6),
+        ) {
+            let columns: Vec<usize> = (0..widths.len()).filter(|&i| pick[i]).collect();
+            prop_assume!(!columns.is_empty());
+            for kind in ALL_KINDS {
+                let scan = run_case(kind, Engine::Optimized, seed, &widths, rows, &columns);
+                let workload = run_case(kind, Engine::WorkloadOneCore, seed, &widths, rows, &columns);
+                prop_assert_eq!(&scan, &workload, "diverged for {:?}", kind);
             }
         }
     }

@@ -1,0 +1,328 @@
+//! Golden-trace regression suite.
+//!
+//! Every simulator counter is deterministic: identical inputs produce
+//! bit-identical statistics. This suite pins that behaviour down as data —
+//! it runs a fixed seed matrix of `scan` / `scan_sharded` / `run_workload`
+//! measurements and compares the end-of-run counter snapshots
+//! (`HierarchyStats` per core, `SharedL2Stats`, `DramStats`, timing) against
+//! checked-in fixtures under `tests/golden/`.
+//!
+//! An *intended* timing-model change will shift these numbers. Regenerate
+//! the fixtures with
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_trace
+//! ```
+//!
+//! and commit the diff — the point is that counter drift shows up in code
+//! review as data, never silently.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use relational_memory::cache::HierarchyStats;
+use relational_memory::core::system::{RowEffect, ScanSource, SystemConfig};
+use relational_memory::core::workload::{QueryStream, Workload, WorkloadOp};
+use relational_memory::prelude::*;
+use relmem_sim::SimTime;
+
+// ---------------------------------------------------------------------------
+// Snapshot rendering: a stable, diffable `key = value` text format.
+// ---------------------------------------------------------------------------
+
+fn put(out: &mut String, key: &str, value: impl std::fmt::Display) {
+    writeln!(out, "{key} = {value}").expect("string write");
+}
+
+fn put_time(out: &mut String, key: &str, t: SimTime) {
+    put(out, key, format!("{} ps", t.as_picos()));
+}
+
+fn render_hierarchy(out: &mut String, prefix: &str, h: &HierarchyStats) {
+    put(out, &format!("{prefix}.l1.requests"), h.l1.requests);
+    put(out, &format!("{prefix}.l1.hits"), h.l1.hits);
+    put(out, &format!("{prefix}.l1.misses"), h.l1.misses);
+    put(out, &format!("{prefix}.l2.requests"), h.l2.requests);
+    put(out, &format!("{prefix}.l2.hits"), h.l2.hits);
+    put(out, &format!("{prefix}.l2.misses"), h.l2.misses);
+    put(out, &format!("{prefix}.backend_fills"), h.backend_fills);
+    put(out, &format!("{prefix}.prefetches_issued"), h.prefetches_issued);
+    put(out, &format!("{prefix}.prefetch_hits"), h.prefetch_hits);
+    put(
+        out,
+        &format!("{prefix}.l2_contended_lookups"),
+        h.l2_contended_lookups,
+    );
+    put_time(
+        out,
+        &format!("{prefix}.l2_contention_delay"),
+        h.l2_contention_delay,
+    );
+}
+
+/// Renders the full end-of-run counter snapshot of a system plus the run's
+/// aggregate timing.
+fn render_snapshot(sys: &System, end: SimTime, cpu: SimTime, rows: u64) -> String {
+    let mut out = String::new();
+    put_time(&mut out, "run.end", end);
+    put_time(&mut out, "run.cpu", cpu);
+    put(&mut out, "run.rows", rows);
+
+    let mut merged = HierarchyStats::default();
+    for core in 0..sys.num_cores() {
+        merged.merge(sys.core_stats(core));
+    }
+    render_hierarchy(&mut out, "cache", &merged);
+    for core in 0..sys.num_cores() {
+        render_hierarchy(&mut out, &format!("core{core}"), sys.core_stats(core));
+    }
+
+    let l2 = sys.l2_stats();
+    put(&mut out, "shared_l2.lookups", l2.lookups);
+    put(&mut out, "shared_l2.contended_lookups", l2.contended_lookups);
+    put_time(&mut out, "shared_l2.contention_delay", l2.contention_delay);
+    for (core, share) in sys.l2_shares().iter().enumerate() {
+        put(&mut out, &format!("shared_l2.core{core}.lookups"), share.lookups);
+        put(
+            &mut out,
+            &format!("shared_l2.core{core}.contended_lookups"),
+            share.contended_lookups,
+        );
+        put_time(
+            &mut out,
+            &format!("shared_l2.core{core}.contention_delay"),
+            share.contention_delay,
+        );
+    }
+
+    let dram = sys.dram_stats();
+    put(&mut out, "dram.accesses", dram.accesses);
+    put(&mut out, "dram.row_hits", dram.row_hits);
+    put(&mut out, "dram.row_misses", dram.row_misses);
+    put(&mut out, "dram.bytes_transferred", dram.bytes_transferred);
+    put(&mut out, "dram.beats", dram.beats);
+    put(&mut out, "dram.rme_accesses", dram.rme_accesses);
+    for (core, n) in dram.per_core_accesses.iter().enumerate() {
+        put(&mut out, &format!("dram.core{core}.accesses"), n);
+    }
+    out
+}
+
+/// Compares `actual` against the checked-in fixture, or regenerates it
+/// when `GOLDEN_BLESS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"));
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden fixture {} — generate it with \
+             `GOLDEN_BLESS=1 cargo test --test golden_trace` and commit it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden trace {name} diverged. If the timing-model change is \
+         intended, regenerate with `GOLDEN_BLESS=1 cargo test --test \
+         golden_trace` and commit the fixture diff."
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The fixed seed matrix.
+// ---------------------------------------------------------------------------
+
+const ROWS: u64 = 3_000;
+const SEED: u64 = 11;
+
+fn build(cores: usize, mvcc: MvccConfig) -> (System, RowTable) {
+    let mut sys = System::with_config(SystemConfig {
+        cores,
+        mem_bytes: 16 << 20,
+        ..SystemConfig::default()
+    });
+    let schema = Schema::benchmark(4, 4, 64);
+    let mut table = sys.create_table(schema, ROWS, mvcc).unwrap();
+    DataGen::new(SEED)
+        .fill_table(sys.mem_mut(), &mut table, ROWS)
+        .unwrap();
+    (sys, table)
+}
+
+fn golden_scan(name: &str, kind: &str, cores: usize) {
+    let mvcc = if kind == "rows_mvcc" {
+        MvccConfig::Enabled
+    } else {
+        MvccConfig::Disabled
+    };
+    let (mut sys, table) = build(cores, mvcc);
+    if mvcc.is_enabled() {
+        for row in 0..ROWS {
+            if row % 7 == 0 {
+                table.mark_deleted(sys.mem_mut(), row, 5).unwrap();
+            }
+        }
+    }
+    let columns = [0usize, 2];
+    let columnar;
+    let var;
+    let (source, path) = match kind {
+        "rows" => (
+            ScanSource::Rows {
+                table: &table,
+                columns: &columns,
+                snapshot: None,
+            },
+            AccessPath::DirectRowWise,
+        ),
+        "rows_mvcc" => (
+            ScanSource::Rows {
+                table: &table,
+                columns: &columns,
+                snapshot: Some(Snapshot::at(7)),
+            },
+            AccessPath::DirectRowWise,
+        ),
+        "columnar" => {
+            columnar = sys.materialize_columnar(&table).unwrap();
+            (
+                ScanSource::Columnar {
+                    table: &columnar,
+                    columns: &columns,
+                },
+                AccessPath::DirectColumnar,
+            )
+        }
+        "ephemeral" => {
+            var = sys
+                .register_ephemeral(&table, ColumnGroup::new(vec![0, 2]).unwrap(), None)
+                .unwrap();
+            (ScanSource::Ephemeral { var: &var }, AccessPath::RmeCold)
+        }
+        other => panic!("unknown kind {other}"),
+    };
+    sys.begin_measurement(path);
+    let snapshot = if cores == 1 {
+        let (end, cpu, rows) = sys.scan(&source, SimTime::ZERO, |_, _| RowEffect::default());
+        render_snapshot(&sys, end, cpu, rows)
+    } else {
+        let run = sys.scan_sharded(&source, SimTime::ZERO, |_, _, _| RowEffect::default());
+        render_snapshot(&sys, run.end, run.cpu, run.rows)
+    };
+    check_golden(name, &snapshot);
+}
+
+#[test]
+fn golden_scan_rows_1core() {
+    golden_scan("scan_rows_1core", "rows", 1);
+}
+
+#[test]
+fn golden_scan_rows_mvcc_1core() {
+    golden_scan("scan_rows_mvcc_1core", "rows_mvcc", 1);
+}
+
+#[test]
+fn golden_scan_columnar_1core() {
+    golden_scan("scan_columnar_1core", "columnar", 1);
+}
+
+#[test]
+fn golden_scan_ephemeral_1core() {
+    golden_scan("scan_ephemeral_1core", "ephemeral", 1);
+}
+
+#[test]
+fn golden_sharded_rows_2core() {
+    golden_scan("sharded_rows_2core", "rows", 2);
+}
+
+#[test]
+fn golden_sharded_rows_4core() {
+    golden_scan("sharded_rows_4core", "rows", 4);
+}
+
+#[test]
+fn golden_sharded_ephemeral_4core() {
+    golden_scan("sharded_ephemeral_4core", "ephemeral", 4);
+}
+
+/// A mixed HTAP workload: OLTP point stream with a mid-stream MVCC
+/// snapshot on core 0, an analytical scan on core 1.
+#[test]
+fn golden_workload_htap_2core() {
+    let (mut sys, table) = build(2, MvccConfig::Enabled);
+    let scan_columns = [0usize];
+    let oltp_columns = [1usize, 3];
+    let mut ops = vec![WorkloadOp::TakeSnapshot { ts: 3 }];
+    for i in 0..60u64 {
+        let row = i.wrapping_mul(2654435761) % ROWS;
+        ops.push(match i % 6 {
+            4 => WorkloadOp::PointUpdate {
+                table: &table,
+                row,
+                column: 1,
+                value: i,
+            },
+            5 => WorkloadOp::PointDelete {
+                table: &table,
+                row,
+                ts: 9,
+            },
+            _ => WorkloadOp::PointLookup {
+                table: &table,
+                columns: &oltp_columns,
+                row,
+            },
+        });
+    }
+    let workload = Workload::new(vec![
+        QueryStream::new(ops),
+        QueryStream::new(vec![WorkloadOp::OlapScan {
+            source: ScanSource::Rows {
+                table: &table,
+                columns: &scan_columns,
+                snapshot: Some(Snapshot::at(2)),
+            },
+            stream_snapshot: false,
+        }]),
+    ]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, row, _| RowEffect {
+        cpu: SimTime::from_nanos(row % 3),
+        touch: None,
+    });
+    check_golden(
+        "workload_htap_2core",
+        &render_snapshot(&sys, run.end, run.cpu, run.rows),
+    );
+}
+
+/// A single-stream workload on one core — pinned to the same numbers as
+/// `scan_rows_1core` would produce through `System::scan` (the equivalence
+/// the proptests prove; the fixture makes it reviewable data).
+#[test]
+fn golden_workload_single_stream_1core() {
+    let (mut sys, table) = build(1, MvccConfig::Disabled);
+    let columns = [0usize, 2];
+    let workload = Workload::new(vec![QueryStream::new(vec![WorkloadOp::olap(
+        ScanSource::Rows {
+            table: &table,
+            columns: &columns,
+            snapshot: None,
+        },
+    )])]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+    check_golden(
+        "workload_single_stream_1core",
+        &render_snapshot(&sys, run.end, run.cpu, run.rows),
+    );
+}

@@ -1,0 +1,352 @@
+//! The per-core workload-stream subsystem: edge cases, determinism, MVCC
+//! snapshots taken mid-stream, and the HTAP isolation claim — OLTP tail
+//! latency under concurrent analytical scans degrades less when the scans
+//! go through the RME than when they read the rows directly.
+
+use relational_memory::core::system::{RowEffect, ScanSource, SystemConfig};
+use relational_memory::core::workload::{OpKind, QueryStream, Workload, WorkloadOp};
+use relational_memory::prelude::*;
+use relmem_sim::SimTime;
+
+fn build(cores: usize, rows: u64, mvcc: MvccConfig) -> (System, RowTable) {
+    let mut cfg = SystemConfig {
+        cores,
+        ..SystemConfig::default()
+    };
+    cfg.mem_bytes = ((rows * 96) as usize + (16 << 20)).next_power_of_two();
+    let mut sys = System::with_config(cfg);
+    let schema = Schema::benchmark(4, 4, 64);
+    let mut table = sys.create_table(schema, rows + 16, mvcc).unwrap();
+    DataGen::new(7)
+        .fill_table(sys.mem_mut(), &mut table, rows)
+        .unwrap();
+    (sys, table)
+}
+
+#[test]
+fn zero_query_streams_complete_instantly() {
+    let (mut sys, _table) = build(4, 100, MvccConfig::Disabled);
+    let workload = Workload::new(vec![
+        QueryStream::empty(),
+        QueryStream::empty(),
+        QueryStream::empty(),
+        QueryStream::empty(),
+    ]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| {
+        panic!("no op should produce a row")
+    });
+    assert_eq!(run.end, SimTime::ZERO);
+    assert_eq!(run.rows, 0);
+    assert_eq!(run.streams.len(), 4);
+    assert!(run.streams.iter().all(|s| s.ops.is_empty()));
+}
+
+#[test]
+fn cores_with_empty_streams_stay_idle_while_others_work() {
+    let rows = 2_000;
+    let (mut sys, table) = build(4, rows, MvccConfig::Disabled);
+    let columns = [0usize, 1];
+    // Only core 2 works; cores 0, 1 have empty streams; core 3 has no
+    // stream at all (workload shorter than the core count).
+    let workload = Workload::new(vec![
+        QueryStream::empty(),
+        QueryStream::empty(),
+        QueryStream::new(vec![WorkloadOp::olap(ScanSource::Rows {
+            table: &table,
+            columns: &columns,
+            snapshot: None,
+        })]),
+    ]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys.run_workload(&workload, SimTime::ZERO, |core, _, _, _| {
+        assert_eq!(core, 2, "only core 2 has work");
+        RowEffect::default()
+    });
+    assert_eq!(run.rows, rows);
+    assert_eq!(run.streams.len(), 3);
+    assert_eq!(run.streams[2].ops[0].rows, rows);
+    assert!(run.streams[0].end.is_zero() && run.streams[1].end.is_zero());
+    assert!(run.end > SimTime::ZERO);
+    // Idle cores issued no cache requests.
+    assert_eq!(sys.core_stats(0).l1.requests, 0);
+    assert_eq!(sys.core_stats(1).l1.requests, 0);
+    assert!(sys.core_stats(2).l1.requests > 0);
+}
+
+#[test]
+#[should_panic(expected = "workload has 2 streams but the system only has 1 cores")]
+fn more_streams_than_cores_is_rejected() {
+    let (mut sys, _table) = build(1, 10, MvccConfig::Disabled);
+    let workload = Workload::new(vec![QueryStream::empty(), QueryStream::empty()]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+}
+
+#[test]
+fn mvcc_snapshot_taken_mid_stream_governs_later_ops() {
+    let rows = 200;
+    let (mut sys, table) = build(1, rows, MvccConfig::Enabled);
+    let columns = [0usize];
+    // The stream deletes row 7 at ts 5, then scans under a snapshot taken
+    // *before* the delete (sees every row) and one taken *after* (sees one
+    // row fewer). Point lookups of row 7 flip visibility the same way.
+    let workload = Workload::new(vec![QueryStream::new(vec![
+        WorkloadOp::PointDelete {
+            table: &table,
+            row: 7,
+            ts: 5,
+        },
+        WorkloadOp::TakeSnapshot { ts: 4 },
+        WorkloadOp::OlapScan {
+            source: ScanSource::Rows {
+                table: &table,
+                columns: &columns,
+                snapshot: None,
+            },
+            stream_snapshot: true,
+        },
+        WorkloadOp::PointLookup {
+            table: &table,
+            columns: &columns,
+            row: 7,
+        },
+        WorkloadOp::TakeSnapshot { ts: 6 },
+        WorkloadOp::OlapScan {
+            source: ScanSource::Rows {
+                table: &table,
+                columns: &columns,
+                snapshot: None,
+            },
+            stream_snapshot: true,
+        },
+        WorkloadOp::PointLookup {
+            table: &table,
+            columns: &columns,
+            row: 7,
+        },
+    ])]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+    let ops = &run.streams[0].ops;
+    assert_eq!(ops[2].rows, rows, "pre-delete snapshot sees every row");
+    assert_eq!(ops[3].rows, 1, "row 7 is visible at ts 4");
+    assert_eq!(ops[5].rows, rows - 1, "post-delete snapshot misses row 7");
+    assert_eq!(ops[6].rows, 0, "row 7 is invisible at ts 6");
+}
+
+#[test]
+fn point_updates_are_visible_to_later_readers() {
+    let (mut sys, table) = build(1, 50, MvccConfig::Disabled);
+    let columns = [1usize];
+    let workload = Workload::new(vec![QueryStream::new(vec![
+        WorkloadOp::PointUpdate {
+            table: &table,
+            row: 3,
+            column: 1,
+            value: 0xAB,
+        },
+        WorkloadOp::PointLookup {
+            table: &table,
+            columns: &columns,
+            row: 3,
+        },
+    ])]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let mut seen = Vec::new();
+    let run = sys.run_workload(&workload, SimTime::ZERO, |_, op, _, values| {
+        seen.push((op, values[0]));
+        RowEffect::default()
+    });
+    assert_eq!(seen, vec![(0, 0xAB), (1, 0xAB)]);
+    assert_eq!(run.streams[0].ops[0].kind, OpKind::PointUpdate);
+    assert!(run.streams[0].ops[1].latency() > SimTime::ZERO);
+}
+
+#[test]
+fn workload_runs_are_deterministic() {
+    let run_once = || {
+        let rows = 4_000;
+        let (mut sys, table) = build(2, rows, MvccConfig::Disabled);
+        let columns = [0usize, 2];
+        let oltp: Vec<WorkloadOp> = (0..100)
+            .map(|i| {
+                if i % 3 == 0 {
+                    WorkloadOp::PointUpdate {
+                        table: &table,
+                        row: (i * 37) % rows,
+                        column: 0,
+                        value: i,
+                    }
+                } else {
+                    WorkloadOp::PointLookup {
+                        table: &table,
+                        columns: &columns,
+                        row: (i * 17) % rows,
+                    }
+                }
+            })
+            .collect();
+        let workload = Workload::new(vec![
+            QueryStream::new(oltp),
+            QueryStream::new(vec![WorkloadOp::olap(ScanSource::Rows {
+                table: &table,
+                columns: &columns,
+                snapshot: None,
+            })]),
+        ]);
+        sys.begin_measurement(AccessPath::DirectRowWise);
+        let mut checksum = 0u64;
+        let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, values| {
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add(values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+            RowEffect::default()
+        });
+        let latencies: Vec<SimTime> = run.streams[0].ops.iter().map(|o| o.latency()).collect();
+        (run.end, run.cpu, checksum, latencies)
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "identical workloads must replay bit-identically");
+}
+
+#[test]
+fn concurrent_streams_contend_on_the_shared_l2() {
+    let rows = 20_000;
+    let (mut sys, table) = build(2, rows, MvccConfig::Disabled);
+    let columns = [0usize, 1, 2, 3];
+    let src = ScanSource::Rows {
+        table: &table,
+        columns: &columns,
+        snapshot: None,
+    };
+    let workload = Workload::new(vec![
+        QueryStream::new(vec![WorkloadOp::olap(src)]),
+        QueryStream::new(vec![WorkloadOp::olap(src)]),
+    ]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+    assert_eq!(run.rows, 2 * rows);
+    // Both streams see shared-L2 contention, and the per-core L2 shares
+    // attribute the traffic stream by stream.
+    assert!(run
+        .streams
+        .iter()
+        .any(|s| !s.cache.l2_contention_delay.is_zero()));
+    let shares = sys.l2_shares().to_vec();
+    assert!(shares[0].lookups > 0 && shares[1].lookups > 0);
+    let total: u64 = shares.iter().map(|s| s.lookups).sum();
+    assert_eq!(total, sys.l2_stats().lookups);
+}
+
+/// The paper's HTAP isolation story, as a regression gate: run an OLTP
+/// point-query stream on core 0 while the other cores run analytical
+/// scans, once with the scans reading the row table directly and once
+/// through the RME. The OLTP p99 must degrade less (vs. an interference-
+/// free baseline) when the analytics go through the engine.
+#[test]
+fn rme_scans_disturb_oltp_tail_latency_less_than_direct_scans() {
+    let rows: u64 = 30_000;
+    let oltp_ops = 400usize;
+    let scan_columns = [0usize];
+    let oltp_columns = [1usize, 2];
+
+    // (is_update, row) pairs, generated deterministically.
+    let oltp_stream = |table: &RowTable| -> Vec<(bool, u64)> {
+        (0..oltp_ops as u64)
+            .map(|i| ((i % 5 == 4), (i.wrapping_mul(2654435761)) % table.num_rows()))
+            .collect()
+    };
+
+    // p99 with no analytical interference (single stream on 1 core).
+    let baseline_p99 = {
+        let (mut sys, table) = build(1, rows, MvccConfig::Disabled);
+        let ops: Vec<WorkloadOp> = oltp_stream(&table)
+            .into_iter()
+            .map(|(upd, row)| {
+                if upd {
+                    WorkloadOp::PointUpdate {
+                        table: &table,
+                        row,
+                        column: 1,
+                        value: row,
+                    }
+                } else {
+                    WorkloadOp::PointLookup {
+                        table: &table,
+                        columns: &oltp_columns,
+                        row,
+                    }
+                }
+            })
+            .collect();
+        let workload = Workload::new(vec![QueryStream::new(ops)]);
+        sys.begin_measurement(AccessPath::DirectRowWise);
+        let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+        run.oltp_latencies().p99()
+    };
+
+    // p99 with three concurrent analytical streams, direct vs. RME.
+    let contended_p99 = |through_rme: bool| {
+        let (mut sys, table) = build(4, rows, MvccConfig::Disabled);
+        let var;
+        let scan_source = if through_rme {
+            var = sys
+                .register_ephemeral(&table, ColumnGroup::new(vec![0]).unwrap(), None)
+                .unwrap();
+            ScanSource::Ephemeral { var: &var }
+        } else {
+            ScanSource::Rows {
+                table: &table,
+                columns: &scan_columns,
+                snapshot: None,
+            }
+        };
+        let ops: Vec<WorkloadOp> = oltp_stream(&table)
+            .into_iter()
+            .map(|(upd, row)| {
+                if upd {
+                    WorkloadOp::PointUpdate {
+                        table: &table,
+                        row,
+                        column: 1,
+                        value: row,
+                    }
+                } else {
+                    WorkloadOp::PointLookup {
+                        table: &table,
+                        columns: &oltp_columns,
+                        row,
+                    }
+                }
+            })
+            .collect();
+        let workload = Workload::new(vec![
+            QueryStream::new(ops),
+            QueryStream::new(vec![WorkloadOp::olap(scan_source)]),
+            QueryStream::new(vec![WorkloadOp::olap(scan_source)]),
+            QueryStream::new(vec![WorkloadOp::olap(scan_source)]),
+        ]);
+        sys.begin_measurement(if through_rme {
+            AccessPath::RmeCold
+        } else {
+            AccessPath::DirectRowWise
+        });
+        let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+        assert_eq!(run.olap_rows(), 3 * rows);
+        run.oltp_latencies().p99()
+    };
+
+    let direct = contended_p99(false);
+    let rme = contended_p99(true);
+    assert!(baseline_p99 > SimTime::ZERO);
+    let direct_deg = direct.as_nanos_f64() / baseline_p99.as_nanos_f64();
+    let rme_deg = rme.as_nanos_f64() / baseline_p99.as_nanos_f64();
+    assert!(
+        rme_deg < direct_deg,
+        "OLTP p99 should degrade less under RME scans: \
+         baseline {baseline_p99}, direct {direct} ({direct_deg:.2}x), \
+         RME {rme} ({rme_deg:.2}x)"
+    );
+}

@@ -14,6 +14,10 @@
 //! its generated inputs and the deterministic case index instead. Every run
 //! draws the same cases (a fixed seed mixed with the case index), so
 //! failures are perfectly reproducible.
+//!
+//! Like real proptest, the `PROPTEST_CASES` environment variable overrides
+//! the configured case count at runtime — the CI profile uses it to deepen
+//! the equivalence suites without a code change.
 
 pub mod collection;
 
@@ -36,6 +40,17 @@ impl ProptestConfig {
     /// A config running `cases` cases.
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
+    }
+
+    /// The case count to actually run: the `PROPTEST_CASES` environment
+    /// variable, when set to a positive integer, overrides the configured
+    /// count (both the default and explicit [`with_cases`](Self::with_cases)
+    /// values) — mirroring real proptest's runtime override.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
     }
 }
 
@@ -272,7 +287,7 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            for case in 0..config.cases as u64 {
+            for case in 0..config.resolved_cases() as u64 {
                 let mut proptest_rng = $crate::TestRng::for_case(case);
                 $(let $arg = $crate::Strategy::generate(&($strategy), &mut proptest_rng);)+
                 // The body may move the inputs, so describe them up front
