@@ -10,7 +10,8 @@
 //! can track the trajectory.
 //!
 //! ```text
-//! cargo bench -p relmem-bench --bench scan_throughput [-- --rows N] [-- --quick] [-- --cores N]
+//! cargo bench -p relmem-bench --bench scan_throughput \
+//!     [-- --rows N] [-- --quick] [-- --cores N] [-- --model ca]
 //! ```
 //!
 //! With `--cores N` (N > 1) the bench switches to the *multi-core sharded*
@@ -20,8 +21,22 @@
 //! second) — the scaling number the shared-L2 contention model produces —
 //! alongside the wall-clock simulator rate. Results go to
 //! `BENCH_scan_throughput.cores<N>[.quick].json`.
+//!
+//! With `--model ca` the bench runs the same scan on the *cycle-accurate*
+//! DRAM model (`DramConfig::model = MemoryModel::CycleAccurate`) beside the
+//! default occupancy model: reported are the simulator's wall rate under
+//! each model (the fidelity/speed trade), the simulated-time delta, and the
+//! command-level counters (refreshes, tFAW stalls, queue occupancy) only
+//! the cycle-accurate model produces. Results go to
+//! `BENCH_scan_throughput.ca[.quick].json`.
+//!
+//! Every emitted `BENCH_*.json` carries the wall-clock spread across the
+//! repetitions (mean/min/max/stddev seconds); rates keep using the best
+//! (minimum) repetition, as before.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use criterion::SampleStats;
 
 use relmem_core::system::{RowEffect, ScanSource, SystemConfig};
 use relmem_core::{AccessPath, System};
@@ -51,35 +66,62 @@ fn timed_scan(
     (started.elapsed().as_secs_f64(), end, cpu, rows, checksum)
 }
 
-fn best_of<F: FnMut() -> (f64, SimTime, SimTime, u64, u64)>(
+/// Runs `f` `reps` times, asserting the simulated outputs are identical
+/// across repetitions, and returns `(wall_secs_per_rep, end, cpu, rows,
+/// checksum)`. Rates should use the best (minimum) repetition; the full
+/// sample vector feeds the spread statistics in the emitted JSON.
+fn run_reps<F: FnMut() -> (f64, SimTime, SimTime, u64, u64)>(
     reps: usize,
     mut f: F,
-) -> (f64, SimTime, SimTime, u64, u64) {
-    let mut best = f();
+) -> (Vec<f64>, SimTime, SimTime, u64, u64) {
+    let first = f();
+    let mut secs = vec![first.0];
     for _ in 1..reps {
         let run = f();
         assert_eq!(
             (run.1, run.2, run.3, run.4),
-            (best.1, best.2, best.3, best.4),
+            (first.1, first.2, first.3, first.4),
             "repeated simulation of identical input diverged"
         );
-        if run.0 < best.0 {
-            best = run;
-        }
+        secs.push(run.0);
     }
-    best
+    (secs, first.1, first.2, first.3, first.4)
 }
 
-/// Builds an N-core system holding the benchmark table, deterministically.
-fn build_system(cores: usize, rows: u64) -> (System, RowTable) {
+/// Minimum of a non-empty wall-time sample vector.
+fn best(secs: &[f64]) -> f64 {
+    secs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Renders the wall-clock spread of one measurement as a JSON object
+/// (mean/min/max/stddev seconds), via the vendored criterion's
+/// [`SampleStats`].
+fn wall_stats_json(secs: &[f64]) -> String {
+    let samples: Vec<Duration> = secs.iter().map(|&s| Duration::from_secs_f64(s)).collect();
+    let stats = SampleStats::from_samples(&samples);
+    format!(
+        "{{ \"mean\": {:.6}, \"min\": {:.6}, \"max\": {:.6}, \"stddev\": {:.6}, \"reps\": {} }}",
+        stats.mean.as_secs_f64(),
+        stats.min.as_secs_f64(),
+        stats.max.as_secs_f64(),
+        stats.stddev.as_secs_f64(),
+        stats.iters
+    )
+}
+
+/// Builds an N-core system holding the benchmark table, deterministically,
+/// on the requested DRAM timing model.
+fn build_system(cores: usize, rows: u64, model: relmem_sim::MemoryModel) -> (System, RowTable) {
     let schema = Schema::benchmark(4, 4, 64);
     let table_bytes = rows * 64;
     let mem_bytes = (table_bytes + (64 << 20)).next_power_of_two() as usize;
-    let mut sys = System::with_config(SystemConfig {
+    let mut config = SystemConfig {
         cores,
         mem_bytes,
         ..SystemConfig::default()
-    });
+    };
+    config.platform.dram.model = model;
+    let mut sys = System::with_config(config);
     let mut table = sys
         .create_table(schema, rows, MvccConfig::Disabled)
         .expect("table fits");
@@ -101,25 +143,25 @@ fn run_multicore(rows: u64, reps: usize, quick: bool, cores: usize) {
     );
 
     // Single-core reference (simulated time baseline).
-    let (mut solo, solo_table) = build_system(1, rows);
+    let (mut solo, solo_table) = build_system(1, rows, relmem_sim::MemoryModel::Occupancy);
     let solo_src = ScanSource::Rows {
         table: &solo_table,
         columns: &COLUMNS,
         snapshot: None,
     };
-    let (_, solo_end, _, _, solo_sum) = best_of(reps, || timed_scan(&mut solo, &solo_src, false));
+    let (_, solo_end, _, _, solo_sum) = run_reps(reps, || timed_scan(&mut solo, &solo_src, false));
 
     // Sharded run on N cores.
-    let (mut sys, table) = build_system(cores, rows);
+    let (mut sys, table) = build_system(cores, rows, relmem_sim::MemoryModel::Occupancy);
     let src = ScanSource::Rows {
         table: &table,
         columns: &COLUMNS,
         snapshot: None,
     };
     // Per-core results are identical across reps (the run is deterministic,
-    // asserted by best_of), so keep the last rep's instead of re-scanning.
+    // asserted by run_reps), so keep the last rep's instead of re-scanning.
     let mut per_core = Vec::new();
-    let (wall, end, _cpu, rows_scanned, sum) = best_of(reps, || {
+    let (wall_secs, end, _cpu, rows_scanned, sum) = run_reps(reps, || {
         sys.begin_measurement(AccessPath::DirectRowWise);
         let mut checksum = 0u64;
         let started = Instant::now();
@@ -143,7 +185,7 @@ fn run_multicore(rows: u64, reps: usize, quick: bool, cores: usize) {
     let scaling = solo_end.as_nanos_f64() / end.as_nanos_f64();
     let sim_rate_1 = fields as f64 / solo_end.as_nanos_f64() * 1e9;
     let sim_rate_n = fields as f64 / end.as_nanos_f64() * 1e9;
-    let wall_rate = fields as f64 / wall;
+    let wall_rate = fields as f64 / best(&wall_secs);
     println!("  1 core : {solo_end} simulated  ({sim_rate_1:.3e} fields/sim-s)");
     println!("  {cores} cores: {end} simulated  ({sim_rate_n:.3e} fields/sim-s)");
     println!("  aggregate simulated throughput scaling: {scaling:.2}x");
@@ -180,11 +222,13 @@ fn run_multicore(rows: u64, reps: usize, quick: bool, cores: usize) {
          \"aggregate_sim_throughput_scaling\": {scaling:.3},\n  \
          \"sim_fields_per_sec\": {sim_rate_n:.1},\n  \
          \"wall_fields_per_sec\": {wall_rate:.1},\n  \
+         \"wall_secs\": {},\n  \
          \"per_core_l2_contention_delay_ns\": [{}],\n  \
          \"outputs_identical\": true\n}}\n",
         COLUMNS.len(),
         solo_end.as_nanos_f64(),
         end.as_nanos_f64(),
+        wall_stats_json(&wall_secs),
         per_core_json.join(", ")
     );
     let suffix = if quick { ".quick" } else { "" };
@@ -196,11 +240,100 @@ fn run_multicore(rows: u64, reps: usize, quick: bool, cores: usize) {
     println!("wrote {out}");
 }
 
+/// The `--model ca` variant: the same optimized scan under the occupancy
+/// and the cycle-accurate DRAM model. There is no bit-identity to assert
+/// across *models* (different fidelity is the point); instead the report
+/// quantifies what the extra fidelity costs in simulator wall time and
+/// what it changes in simulated time, plus the command-level counters only
+/// the cycle-accurate model produces.
+fn run_model_comparison(rows: u64, reps: usize, quick: bool) {
+    use relmem_sim::MemoryModel;
+
+    let fields = rows * COLUMNS.len() as u64;
+    println!(
+        "scan_throughput (model fidelity): {rows} rows x {} columns, occupancy vs cycle-accurate",
+        COLUMNS.len()
+    );
+
+    let run_model = |model: MemoryModel| {
+        let (mut sys, table) = build_system(1, rows, model);
+        let source = ScanSource::Rows {
+            table: &table,
+            columns: &COLUMNS,
+            snapshot: None,
+        };
+        let (samples, end, _, scanned, sum) =
+            run_reps(reps, || timed_scan(&mut sys, &source, false));
+        assert_eq!(scanned, rows);
+        (samples, end, sum, sys.dram_stats().clone())
+    };
+
+    let (occ_samples, occ_end, occ_sum, occ_stats) = run_model(MemoryModel::Occupancy);
+    let (ca_samples, ca_end, ca_sum, ca_stats) = run_model(MemoryModel::CycleAccurate);
+    assert_eq!(occ_sum, ca_sum, "the timing model must not change the data");
+
+    let occ_rate = fields as f64 / best(&occ_samples);
+    let ca_rate = fields as f64 / best(&ca_samples);
+    let slowdown = occ_rate / ca_rate;
+    let sim_delta = ca_end.as_nanos_f64() / occ_end.as_nanos_f64();
+    println!(
+        "  occupancy:      {:.3} s wall ({occ_rate:.3e} fields/s), {occ_end} simulated",
+        best(&occ_samples)
+    );
+    println!(
+        "  cycle-accurate: {:.3} s wall ({ca_rate:.3e} fields/s), {ca_end} simulated",
+        best(&ca_samples)
+    );
+    println!("  fidelity cost: {slowdown:.2}x wall, simulated-time ratio {sim_delta:.4}");
+    println!(
+        "  ca counters: refreshes={} tfaw_stalls={} queue_stalls={} avg_queue_occupancy={:.2}",
+        ca_stats.refreshes,
+        ca_stats.tfaw_stalls,
+        ca_stats.queue_stalls,
+        ca_stats.avg_queue_occupancy()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"scan_throughput_model\",\n  \"rows\": {rows},\n  \
+         \"columns\": {},\n  \
+         \"occupancy_fields_per_sec\": {occ_rate:.1},\n  \
+         \"cycle_accurate_fields_per_sec\": {ca_rate:.1},\n  \
+         \"fidelity_wall_slowdown\": {slowdown:.3},\n  \
+         \"simulated_end_ratio_ca_over_occupancy\": {sim_delta:.4},\n  \
+         \"occupancy_row_hit_rate\": {:.4},\n  \
+         \"cycle_accurate_row_hit_rate\": {:.4},\n  \
+         \"cycle_accurate_refreshes\": {},\n  \
+         \"cycle_accurate_tfaw_stalls\": {},\n  \
+         \"cycle_accurate_queue_stalls\": {},\n  \
+         \"cycle_accurate_avg_queue_occupancy\": {:.3},\n  \
+         \"occupancy_wall_secs\": {},\n  \
+         \"cycle_accurate_wall_secs\": {},\n  \
+         \"outputs_identical\": true\n}}\n",
+        COLUMNS.len(),
+        occ_stats.row_hit_rate(),
+        ca_stats.row_hit_rate(),
+        ca_stats.refreshes,
+        ca_stats.tfaw_stalls,
+        ca_stats.queue_stalls,
+        ca_stats.avg_queue_occupancy(),
+        wall_stats_json(&occ_samples),
+        wall_stats_json(&ca_samples)
+    );
+    let suffix = if quick { ".quick" } else { "" };
+    let out = format!(
+        "{}/../../BENCH_scan_throughput.ca{suffix}.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::write(&out, &json).expect("write scan_throughput model report");
+    println!("wrote {out}");
+}
+
 fn main() {
     let mut rows: u64 = 1_000_000;
     let mut reps = 3usize;
     let mut quick = false;
     let mut cores = 1usize;
+    let mut model_ca = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -221,9 +354,22 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--cores requires a number");
             }
+            "--model" => {
+                let m = args.next().expect("--model requires a name");
+                match m.as_str() {
+                    "ca" | "cycle-accurate" => model_ca = true,
+                    "occupancy" => model_ca = false,
+                    other => panic!("unknown model {other} (expected ca|occupancy)"),
+                }
+            }
             // `cargo bench` appends harness flags like --bench; ignore them.
             _ => {}
         }
+    }
+    if model_ca {
+        assert_eq!(cores, 1, "--model ca currently runs the single-core scan");
+        run_model_comparison(rows, reps, quick);
+        return;
     }
     if cores > 1 {
         run_multicore(rows, reps, quick, cores);
@@ -254,24 +400,26 @@ fn main() {
 
     // Optimized hot path (line-resident fast path + per-scan cursors).
     sys.set_cache_fast_path(true);
-    let (opt_secs, opt_end, opt_cpu, opt_rows, opt_sum) =
-        best_of(reps, || timed_scan(&mut sys, &source, false));
+    let (opt_samples, opt_end, opt_cpu, opt_rows, opt_sum) =
+        run_reps(reps, || timed_scan(&mut sys, &source, false));
+    let opt_secs = best(&opt_samples);
     let opt_rate = fields as f64 / opt_secs;
     println!("  optimized:  {opt_secs:.3} s wall  ({opt_rate:.3e} fields/s)");
 
     // Intermediate: the old scan loop (per-field lookups, per-access
     // backend construction) on the new cache internals, fast path off.
     sys.set_cache_fast_path(false);
-    let (naive_secs, naive_end, naive_cpu, naive_rows, naive_sum) =
-        best_of(reps, || timed_scan(&mut sys, &source, true));
+    let (naive_samples, naive_end, naive_cpu, naive_rows, naive_sum) =
+        run_reps(reps, || timed_scan(&mut sys, &source, true));
     sys.set_cache_fast_path(true);
+    let naive_secs = best(&naive_samples);
     let naive_rate = fields as f64 / naive_secs;
     println!("  naive loop: {naive_secs:.3} s wall  ({naive_rate:.3e} fields/s)");
 
     // Pre-optimization baseline: the seed's scan loop over the seed's data
     // structures (Vec<Vec> tag stores, HashMap pending map, Vec MSHRs,
     // allocating prefetch decisions and DRAM chunk splits).
-    let (base_secs, base_end, base_cpu, base_rows, base_sum) = best_of(reps, || {
+    let (base_samples, base_end, base_cpu, base_rows, base_sum) = run_reps(reps, || {
         let mut hierarchy = relmem_bench::baseline::BaselineHierarchy::new(sys.config());
         let mut checksum = 0u64;
         let started = Instant::now();
@@ -295,6 +443,7 @@ fn main() {
             checksum,
         )
     });
+    let base_secs = best(&base_samples);
     let base_rate = fields as f64 / base_secs;
     println!("  baseline:   {base_secs:.3} s wall  ({base_rate:.3e} fields/s)");
 
@@ -341,8 +490,14 @@ fn main() {
          \"baseline_fields_per_sec\": {base_rate:.1},\n  \
          \"speedup_vs_baseline\": {speedup:.3},\n  \
          \"speedup_vs_naive_loop\": {loop_speedup:.3},\n  \
+         \"optimized_wall_secs\": {},\n  \
+         \"naive_loop_wall_secs\": {},\n  \
+         \"baseline_wall_secs\": {},\n  \
          \"outputs_identical\": true\n}}\n",
-        COLUMNS.len()
+        COLUMNS.len(),
+        wall_stats_json(&opt_samples),
+        wall_stats_json(&naive_samples),
+        wall_stats_json(&base_samples)
     );
     // `cargo bench` runs with the package as cwd; anchor the report at the
     // workspace root. The tracked BENCH_scan_throughput.json records the

@@ -3,8 +3,10 @@
 //! The paper's evaluation is single-threaded; this experiment extends the
 //! Figure 13 scalability question to the platform's full A53 cluster. The
 //! `scan_throughput` workload shape (Q1-like: four 4-byte columns of a
-//! 64-byte-row table) is sharded across 1, 2 and 4 cores with
-//! `System::scan_sharded`; reported are the aggregate *simulated*
+//! 64-byte-row table) is sharded across 1, 2, 4 and 8 cores with
+//! `System::scan_sharded` (8 is a hypothetical doubled cluster — the
+//! ZCU102 has four A53s — probing where the shared L2 banks and the DRAM
+//! bus stop the scaling); reported are the aggregate *simulated*
 //! throughput scaling over one core, and where the lost fraction goes —
 //! shared-L2 bank contention (per-core wait time) and DRAM bus pressure.
 //! Like a hardware bank-conflict counter, the per-core wait numbers
@@ -47,7 +49,7 @@ pub fn fig13_multicore(quick: bool) -> Experiment {
     let mut row_hits = Series::new("DRAM row-hit rate");
 
     let mut one_core_end: Option<SimTime> = None;
-    for cores in [1usize, 2, 4] {
+    for cores in [1usize, 2, 4, 8] {
         let mut sys = System::with_config(SystemConfig {
             cores,
             mem_bytes: ((rows * 64) as usize + (64 << 20)).next_power_of_two(),

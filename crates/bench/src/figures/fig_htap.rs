@@ -10,8 +10,10 @@
 //! with full 64-byte-row traffic) or through the RME (which moves the
 //! column as densely packed frames fetched by the engine).
 //!
-//! Reported per core count (1 = interference-free OLTP baseline, 2 and 4 =
-//! one and three concurrent scan streams): aggregate OLAP scan throughput,
+//! Reported per core count (1 = interference-free OLTP baseline, 2/4/8 =
+//! one, three and seven concurrent scan streams — 8 being a hypothetical
+//! doubled cluster beyond the ZCU102's four A53s): aggregate OLAP scan
+//! throughput,
 //! OLTP p50/p99/max latency, and the p99 degradation factor against the
 //! baseline. The headline number is the degradation — OLTP tail latency
 //! degrades less when the scans go through the engine, because the packed
@@ -186,7 +188,7 @@ pub fn fig_htap(quick: bool) -> Experiment {
         deg[i].push(one.clone(), 1.0);
     }
 
-    for cores in [2usize, 4] {
+    for cores in [2usize, 4, 8] {
         let label = format!("{cores} cores ({} scan streams)", cores - 1);
         for (i, (path, _)) in PATHS.iter().enumerate() {
             let point = run_htap(rows, oltp_ops, cores, *path);

@@ -9,6 +9,7 @@ mod fig11;
 mod fig12;
 mod fig13;
 mod fig13_multicore;
+mod fig_dram_fidelity;
 mod fig_htap;
 mod tables;
 
@@ -21,6 +22,7 @@ pub use fig11::fig11;
 pub use fig12::fig12;
 pub use fig13::fig13;
 pub use fig13_multicore::fig13_multicore;
+pub use fig_dram_fidelity::fig_dram_fidelity;
 pub use fig_htap::fig_htap;
 pub use tables::{table1, table2};
 
@@ -65,7 +67,7 @@ impl Experiment {
 pub fn all_experiments() -> Vec<&'static str> {
     vec![
         "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig13_multicore", "fig_htap", "table1", "table2",
+        "fig13_multicore", "fig_htap", "fig_dram_fidelity", "table1", "table2",
     ]
 }
 
@@ -84,6 +86,7 @@ pub fn experiment_by_id(id: &str, quick: bool, full: bool) -> Option<Experiment>
         "fig13" => Some(fig13(quick, full)),
         "fig13_multicore" => Some(fig13_multicore(quick)),
         "fig_htap" => Some(fig_htap(quick)),
+        "fig_dram_fidelity" => Some(fig_dram_fidelity(quick)),
         "table1" => Some(table1()),
         "table2" => Some(table2()),
         _ => None,

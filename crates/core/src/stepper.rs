@@ -16,7 +16,7 @@
 //! `system.rs` destructure the platform.
 
 use relmem_cache::{CoreFrontend, SharedL2};
-use relmem_dram::{DramController, PhysicalMemory};
+use relmem_dram::{DramModel, PhysicalMemory};
 use relmem_rme::RmeEngine;
 use relmem_sim::SimTime;
 use relmem_storage::{RowTable, Snapshot};
@@ -28,7 +28,7 @@ use crate::system::{DramBackend, RmeBackend, RowEffect, ScanSource, System};
 pub(crate) struct Parts<'a> {
     pub cores: &'a mut [CoreFrontend],
     pub l2: &'a mut SharedL2,
-    pub dram: &'a mut DramController,
+    pub dram: &'a mut DramModel,
     pub mem: &'a mut PhysicalMemory,
     pub engine: &'a mut RmeEngine,
     pub line_bytes: usize,

@@ -1,7 +1,9 @@
 //! The simulated platform, wired together.
 //!
-//! [`System`] owns the physical memory, the DRAM controller, N cores' cache
-//! frontends over one shared L2, and the Relational Memory Engine, and
+//! [`System`] owns the physical memory, the DRAM timing model (the
+//! occupancy-tracked default or the command-level cycle-accurate model,
+//! selected by `DramConfig::model`), N cores' cache frontends over one
+//! shared L2, and the Relational Memory Engine, and
 //! exposes the operations the query layer needs: creating tables,
 //! materialising the columnar baseline, registering ephemeral variables
 //! (= programming the RME), and running measured scans over any
@@ -48,7 +50,7 @@
 //! ```
 
 use relmem_cache::{CoreFrontend, HierarchyStats, MemoryBackend, SharedL2, SharedL2Stats};
-use relmem_dram::{DramController, MemRequest, PhysicalMemory, Requestor};
+use relmem_dram::{DramModel, MemRequest, PhysicalMemory, Requestor};
 use relmem_rme::{HwRevision, RmeEngine, TableGeometry};
 use relmem_sim::{PlatformConfig, SimTime};
 use relmem_storage::{
@@ -162,7 +164,7 @@ pub struct System {
     pub(crate) cfg: PlatformConfig,
     pub(crate) cost: CpuCostModel,
     pub(crate) mem: PhysicalMemory,
-    pub(crate) dram: DramController,
+    pub(crate) dram: DramModel,
     /// Per-core private cache frontends (L1 + prefetcher + MSHRs).
     pub(crate) cores: Vec<CoreFrontend>,
     /// The L2 every core shares (banked; contended when `cores.len() > 1`).
@@ -206,7 +208,7 @@ impl System {
         );
         System {
             mem: PhysicalMemory::new(config.mem_bytes),
-            dram: DramController::new(cfg.dram),
+            dram: DramModel::new(cfg.dram),
             cores: (0..config.cores)
                 .map(|i| CoreFrontend::for_core(&cfg, i))
                 .collect(),
@@ -255,6 +257,15 @@ impl System {
     /// for the golden-trace suite and ad-hoc inspection).
     pub fn dram_stats(&self) -> &relmem_dram::DramStats {
         self.dram.stats()
+    }
+
+    /// Which DRAM timing model this system runs
+    /// (`SystemConfig.platform.dram.model`): the fast occupancy model —
+    /// the default, and the one every golden fixture pins — or the
+    /// command-level cycle-accurate model. Scans, sharded scans, HTAP
+    /// workloads and the RME fetch path all run unchanged on either.
+    pub fn memory_model(&self) -> relmem_sim::MemoryModel {
+        self.dram.kind()
     }
 
     /// The platform configuration.
@@ -846,7 +857,7 @@ impl System {
 fn finish_row_naive<F>(
     front: &mut CoreFrontend,
     l2: &mut SharedL2,
-    dram: &mut DramController,
+    dram: &mut DramModel,
     line_bytes: usize,
     row: u64,
     values: &[u64],
@@ -880,7 +891,7 @@ where
 /// Normal-route backend: L2 misses go straight to the DRAM controller,
 /// attributed to the issuing core.
 pub(crate) struct DramBackend<'a> {
-    pub(crate) dram: &'a mut DramController,
+    pub(crate) dram: &'a mut DramModel,
     pub(crate) line_bytes: usize,
     pub(crate) core: usize,
 }
@@ -900,7 +911,7 @@ impl MemoryBackend for DramBackend<'_> {
 /// the issuing core.
 pub(crate) struct RmeBackend<'a> {
     pub(crate) engine: &'a mut RmeEngine,
-    pub(crate) dram: &'a mut DramController,
+    pub(crate) dram: &'a mut DramModel,
     pub(crate) mem: &'a PhysicalMemory,
     pub(crate) core: usize,
 }

@@ -50,6 +50,21 @@ pub struct DramStats {
     pub per_core_accesses: Vec<u64>,
     /// Accesses issued by the RME's fetch units.
     pub rme_accesses: u64,
+    /// Per-bank refresh windows applied (cycle-accurate model only: each
+    /// bank is refreshed once per tREFI; a refresh closes the open row and
+    /// stalls the bank for tRFC). Always zero under the occupancy model.
+    pub refreshes: u64,
+    /// Activates delayed by the four-activate window, tFAW (cycle-accurate
+    /// model only).
+    pub tfaw_stalls: u64,
+    /// Requests that stalled at admission because the transaction queue was
+    /// full (cycle-accurate model only).
+    pub queue_stalls: u64,
+    /// Sum over all requests of the number of transactions already in
+    /// flight at admission (cycle-accurate model only); divide by
+    /// [`accesses`](Self::accesses) for the mean queue occupancy — or use
+    /// [`avg_queue_occupancy`](Self::avg_queue_occupancy).
+    pub queue_occupancy_sum: u64,
 }
 
 impl DramStats {
@@ -60,6 +75,16 @@ impl DramStats {
             0.0
         } else {
             self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean transactions in flight at admission (cycle-accurate model only;
+    /// `0.0` under the occupancy model, which has no transaction queue).
+    pub fn avg_queue_occupancy(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.queue_occupancy_sum as f64 / self.accesses as f64
         }
     }
 }

@@ -21,6 +21,20 @@ pub struct MemRequest {
     /// controller's occupancy-tracked banks and bus, which serve requests
     /// from any requestor in `ready`-time order.
     pub requestor: Requestor,
+    /// Read or write. The occupancy model's timing is symmetric and ignores
+    /// this; the cycle-accurate model applies the write-recovery (tWR) and
+    /// write-to-read turnaround (tWTR) constraints to writes.
+    pub kind: ReqKind,
+}
+
+/// Direction of a memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReqKind {
+    /// A read (cache-line fill, RME fetch). The default.
+    #[default]
+    Read,
+    /// A write (dirty-line writeback, in-place update traffic).
+    Write,
 }
 
 /// Who issued a memory request.
@@ -39,19 +53,26 @@ impl Default for Requestor {
 }
 
 impl MemRequest {
-    /// Convenience constructor; the request is attributed to core 0.
+    /// Convenience constructor; the request is a read attributed to core 0.
     pub fn new(addr: u64, bytes: usize, ready: SimTime) -> Self {
         MemRequest {
             addr,
             bytes,
             ready,
             requestor: Requestor::Core(0),
+            kind: ReqKind::Read,
         }
     }
 
     /// Attributes the request to a requestor (builder style).
     pub fn with_requestor(mut self, requestor: Requestor) -> Self {
         self.requestor = requestor;
+        self
+    }
+
+    /// Marks the request as a write (builder style).
+    pub fn as_write(mut self) -> Self {
+        self.kind = ReqKind::Write;
         self
     }
 }
@@ -94,5 +115,7 @@ mod tests {
         assert_eq!(r.addr, 64);
         assert_eq!(r.bytes, 16);
         assert_eq!(r.ready, SimTime::from_nanos(1));
+        assert_eq!(r.kind, ReqKind::Read);
+        assert_eq!(r.as_write().kind, ReqKind::Write);
     }
 }

@@ -17,7 +17,7 @@
 //! uses the single-cycle epoch reset (Section 5, "RME Scales with Data
 //! Size" / Figure 13).
 
-use relmem_dram::{DramController, PhysicalMemory};
+use relmem_dram::{DramModel, PhysicalMemory};
 use relmem_sim::{CdcConfig, ClockDomain, RmeHwConfig, SimTime};
 
 use crate::config_port::ConfigPort;
@@ -246,7 +246,7 @@ impl RmeEngine {
         addr: u64,
         ready: SimTime,
         mem: &PhysicalMemory,
-        dram: &mut DramController,
+        dram: &mut DramModel,
     ) -> SimTime {
         self.serve_line_from(0, addr, ready, mem, dram)
     }
@@ -263,7 +263,7 @@ impl RmeEngine {
         addr: u64,
         ready: SimTime,
         mem: &PhysicalMemory,
-        dram: &mut DramController,
+        dram: &mut DramModel,
     ) -> SimTime {
         if self.per_core_requests.len() <= core {
             self.per_core_requests.resize(core + 1, 0);
@@ -415,7 +415,7 @@ impl RmeEngine {
         frame: u64,
         start_pl: SimTime,
         mem: &PhysicalMemory,
-        dram: &mut DramController,
+        dram: &mut DramModel,
     ) {
         let p = self.programmed.as_ref().expect("engine configured");
         let rows = p.frame_rows(frame);
@@ -549,7 +549,7 @@ mod tests {
 
     struct Fixture {
         mem: PhysicalMemory,
-        dram: DramController,
+        dram: DramModel,
         table: RowTable,
         engine: RmeEngine,
         ephemeral_base: u64,
@@ -561,7 +561,7 @@ mod tests {
         let schema = Schema::benchmark(8, 4, 64);
         let mut table = RowTable::create(&mut mem, schema, rows, mvcc).unwrap();
         DataGen::new(11).fill_table(&mut mem, &mut table, rows).unwrap();
-        let dram = DramController::new(cfg.dram);
+        let dram = DramModel::new(cfg.dram);
         let engine = RmeEngine::new(cfg.rme, cfg.cdc, revision, cfg.dram.bus_bytes, 64);
         let ephemeral_base = 16 << 20;
         Fixture {

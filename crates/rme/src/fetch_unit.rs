@@ -9,7 +9,7 @@
 //! chunk post-processing serialises within a unit even when many reads are
 //! in flight.
 
-use relmem_dram::{DramController, MemRequest, PhysicalMemory};
+use relmem_dram::{DramModel, MemRequest, PhysicalMemory};
 use relmem_sim::{ClockDomain, Resource, RmeHwConfig, SimTime};
 
 use crate::descriptor::Descriptor;
@@ -90,7 +90,7 @@ impl FetchUnit {
         descriptor: &Descriptor,
         dispatch_at: SimTime,
         mem: &PhysicalMemory,
-        dram: &mut DramController,
+        dram: &mut DramModel,
     ) -> ChunkResult {
         self.processed += 1;
         let burst_bytes = descriptor.burst_bytes(self.bus_bytes);
@@ -169,14 +169,14 @@ mod tests {
     use crate::geometry::{ColumnSpec, TableGeometry};
     use relmem_sim::DramConfig;
 
-    fn setup(rows: u64) -> (PhysicalMemory, DramController, TableGeometry) {
+    fn setup(rows: u64) -> (PhysicalMemory, DramModel, TableGeometry) {
         let mut mem = PhysicalMemory::new(1 << 20);
         let base = mem.alloc(64 * rows as usize, 64);
         // Fill with a recognisable pattern: byte value = address & 0xff.
         for i in 0..64 * rows {
             mem.write(base + i, &[(i & 0xff) as u8]);
         }
-        let dram = DramController::new(DramConfig::default());
+        let dram = DramModel::new(DramConfig::default());
         let geometry = TableGeometry {
             row_bytes: 64,
             row_count: rows,
@@ -217,7 +217,7 @@ mod tests {
         let descriptors: Vec<_> = (0..64u64).map(|i| descriptor_for(&g, i, i, 0, 16)).collect();
 
         let run = |rev: HwRevision| {
-            let mut dram = DramController::new(DramConfig::default());
+            let mut dram = DramModel::new(DramConfig::default());
             let mut fu = unit(rev);
             let mut last = SimTime::ZERO;
             for d in &descriptors {

@@ -64,6 +64,30 @@ impl CacheLevelConfig {
     }
 }
 
+/// Which DRAM timing model the controller runs.
+///
+/// The workspace ships two implementations behind one interface (the
+/// `DramModel` dispatcher in `relmem-dram`):
+///
+/// * [`MemoryModel::Occupancy`] — the original transaction-level model:
+///   per-bank open-row state, occupancy-tracked banks and data bus. Fast
+///   enough for multi-gigabyte sweeps; the default, and the model every
+///   golden fixture pins.
+/// * [`MemoryModel::CycleAccurate`] — a command-level model (DRAMsim3-style,
+///   in pure Rust): per-bank ACT/PRE/RD/WR state machines with
+///   tRCD/tCL/tRP/tRAS/tWR constraints, a per-rank tFAW activate window,
+///   periodic refresh (tREFI/tRFC) and a bounded transaction queue.
+///   Slower, but expresses command-level effects the occupancy model folds
+///   into constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryModel {
+    /// Occupancy-tracked transaction-level model (default).
+    #[default]
+    Occupancy,
+    /// Command-level cycle-accurate model.
+    CycleAccurate,
+}
+
 /// DRAM device + controller parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
@@ -97,6 +121,36 @@ pub struct DramConfig {
     /// lockstep and serialize there. On by default; switch off for the
     /// plain "row : bank : column" interleaving.
     pub xor_bank_hash: bool,
+    /// Which timing model services requests. The cycle-accurate model uses
+    /// the command-level parameters below; the (default) occupancy model
+    /// ignores them, so flipping defaults here can never shift the golden
+    /// fixtures.
+    pub model: MemoryModel,
+    /// Row-active time, tRAS: minimum ACT → PRE spacing on a bank
+    /// (cycle-accurate model only).
+    pub t_ras: SimTime,
+    /// Write recovery, tWR: last write data → PRE on the same bank
+    /// (cycle-accurate model only).
+    pub t_wr: SimTime,
+    /// Write-to-read turnaround, tWTR: last write data → next read command
+    /// anywhere on the rank (cycle-accurate model only).
+    pub t_wtr: SimTime,
+    /// Read-to-precharge, tRTP: read command → PRE on the same bank
+    /// (cycle-accurate model only).
+    pub t_rtp: SimTime,
+    /// Four-activate window, tFAW: at most four ACTs may issue on the rank
+    /// in any window of this length (cycle-accurate model only).
+    pub t_faw: SimTime,
+    /// Average refresh interval, tREFI: every bank is refreshed once per
+    /// window (cycle-accurate model only).
+    pub t_refi: SimTime,
+    /// Refresh cycle time, tRFC: how long a refresh keeps a bank busy; a
+    /// refresh also closes the bank's open row (cycle-accurate model only).
+    pub t_rfc: SimTime,
+    /// Transaction-queue depth of the controller front end: at most this
+    /// many requests can be in flight; further arrivals stall at admission
+    /// (cycle-accurate model only).
+    pub queue_depth: usize,
 }
 
 impl Default for DramConfig {
@@ -115,6 +169,16 @@ impl Default for DramConfig {
             t_ccd: SimTime::from_nanos_f64(5.0),
             controller_overhead: SimTime::from_nanos_f64(20.0),
             xor_bank_hash: true,
+            model: MemoryModel::Occupancy,
+            // DDR4-2133 command-level timings (JEDEC-ish round numbers).
+            t_ras: SimTime::from_nanos_f64(33.0),
+            t_wr: SimTime::from_nanos_f64(15.0),
+            t_wtr: SimTime::from_nanos_f64(7.5),
+            t_rtp: SimTime::from_nanos_f64(7.5),
+            t_faw: SimTime::from_nanos_f64(30.0),
+            t_refi: SimTime::from_nanos_f64(7_800.0),
+            t_rfc: SimTime::from_nanos_f64(350.0),
+            queue_depth: 32,
         }
     }
 }
@@ -134,6 +198,12 @@ impl DramConfig {
     /// Latency of a row-buffer miss access (excluding data transfer).
     pub fn row_miss_latency(&self) -> SimTime {
         self.controller_overhead + self.t_rp + self.t_rcd + self.t_cas
+    }
+
+    /// Row cycle time, tRC = tRAS + tRP: minimum ACT → ACT spacing on one
+    /// bank (cycle-accurate model only).
+    pub fn t_rc(&self) -> SimTime {
+        self.t_ras + self.t_rp
     }
 }
 
@@ -373,6 +443,18 @@ mod tests {
         assert_eq!(d.transfer_time(16), d.beat_time);
         assert_eq!(d.transfer_time(17), d.beat_time * 2);
         assert_eq!(d.transfer_time(64), d.beat_time * 4);
+    }
+
+    #[test]
+    fn dram_command_level_timings_are_consistent() {
+        let d = DramConfig::default();
+        assert_eq!(d.model, MemoryModel::Occupancy, "occupancy is the default");
+        assert_eq!(d.t_rc(), d.t_ras + d.t_rp);
+        // Ordering sanity of the JEDEC-style parameters.
+        assert!(d.t_rcd < d.t_ras, "a row must stay open past its activate");
+        assert!(d.t_faw > d.t_ccd, "tFAW spans several column commands");
+        assert!(d.t_rfc < d.t_refi, "refresh must not saturate the device");
+        assert!(d.queue_depth >= 1);
     }
 
     #[test]

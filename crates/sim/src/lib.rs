@@ -22,7 +22,9 @@ pub mod stats;
 pub mod time;
 
 pub use clock::ClockDomain;
-pub use config::{CacheLevelConfig, CdcConfig, CpuConfig, DramConfig, PlatformConfig, RmeHwConfig};
+pub use config::{
+    CacheLevelConfig, CdcConfig, CpuConfig, DramConfig, MemoryModel, PlatformConfig, RmeHwConfig,
+};
 pub use resource::{MultiResource, Resource};
 pub use stats::{Counter, LatencyProfile, MeanStd};
 pub use time::SimTime;

@@ -105,6 +105,15 @@ fn render_snapshot(sys: &System, end: SimTime, cpu: SimTime, rows: u64) -> Strin
     for (core, n) in dram.per_core_accesses.iter().enumerate() {
         put(&mut out, &format!("dram.core{core}.accesses"), n);
     }
+    // Command-level counters exist only under the cycle-accurate model;
+    // gating keeps the occupancy-model fixtures byte-identical to their
+    // pre-cycle-accurate state.
+    if sys.memory_model() == relmem_sim::MemoryModel::CycleAccurate {
+        put(&mut out, "dram.refreshes", dram.refreshes);
+        put(&mut out, "dram.tfaw_stalls", dram.tfaw_stalls);
+        put(&mut out, "dram.queue_stalls", dram.queue_stalls);
+        put(&mut out, "dram.queue_occupancy_sum", dram.queue_occupancy_sum);
+    }
     out
 }
 
@@ -143,11 +152,21 @@ const ROWS: u64 = 3_000;
 const SEED: u64 = 11;
 
 fn build(cores: usize, mvcc: MvccConfig) -> (System, RowTable) {
-    let mut sys = System::with_config(SystemConfig {
+    build_with_model(cores, mvcc, relmem_sim::MemoryModel::Occupancy)
+}
+
+fn build_with_model(
+    cores: usize,
+    mvcc: MvccConfig,
+    model: relmem_sim::MemoryModel,
+) -> (System, RowTable) {
+    let mut config = SystemConfig {
         cores,
         mem_bytes: 16 << 20,
         ..SystemConfig::default()
-    });
+    };
+    config.platform.dram.model = model;
+    let mut sys = System::with_config(config);
     let schema = Schema::benchmark(4, 4, 64);
     let mut table = sys.create_table(schema, ROWS, mvcc).unwrap();
     DataGen::new(SEED)
@@ -157,12 +176,17 @@ fn build(cores: usize, mvcc: MvccConfig) -> (System, RowTable) {
 }
 
 fn golden_scan(name: &str, kind: &str, cores: usize) {
+    golden_scan_with_model(name, kind, cores, relmem_sim::MemoryModel::Occupancy);
+}
+
+fn golden_scan_with_model(name: &str, kind: &str, cores: usize, model: relmem_sim::MemoryModel) {
     let mvcc = if kind == "rows_mvcc" {
         MvccConfig::Enabled
     } else {
         MvccConfig::Disabled
     };
-    let (mut sys, table) = build(cores, mvcc);
+    let (mut sys, table) = build_with_model(cores, mvcc, model);
+    assert_eq!(sys.memory_model(), model);
     if mvcc.is_enabled() {
         for row in 0..ROWS {
             if row % 7 == 0 {
@@ -222,6 +246,19 @@ fn golden_scan(name: &str, kind: &str, cores: usize) {
 #[test]
 fn golden_scan_rows_1core() {
     golden_scan("scan_rows_1core", "rows", 1);
+}
+
+/// The same fixed-seed scan as `scan_rows_1core`, run on the cycle-accurate
+/// DRAM model — regression-locks the command-level counters (refreshes,
+/// tFAW stalls, queue occupancy) from day one.
+#[test]
+fn golden_scan_rows_1core_ca() {
+    golden_scan_with_model(
+        "scan_rows_1core_ca",
+        "rows",
+        1,
+        relmem_sim::MemoryModel::CycleAccurate,
+    );
 }
 
 #[test]

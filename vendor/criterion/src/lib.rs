@@ -3,9 +3,11 @@
 //! The build container has no crates.io access, so the figure benches link
 //! against this minimal harness instead: it runs each benchmark closure for
 //! a warm-up iteration plus `sample_size` measured iterations (bounded by
-//! `measurement_time`) and prints mean wall-clock time per iteration. There
-//! is no statistical analysis, outlier rejection, or HTML report — good
-//! enough for smoke runs and for eyeballing relative changes.
+//! `measurement_time`), timing each iteration individually, and prints the
+//! mean, min, max and sample standard deviation of the per-iteration
+//! wall-clock time (see [`SampleStats`]). There is no outlier rejection or
+//! HTML report — good enough for smoke runs and for eyeballing relative
+//! changes and their run-to-run spread.
 //!
 //! Supported surface: `Criterion::benchmark_group`, group `sample_size` /
 //! `warm_up_time` / `measurement_time` / `throughput` / `bench_function` /
@@ -123,11 +125,11 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
-            mean: Duration::ZERO,
-            iters: 0,
+            stats: SampleStats::default(),
         };
         f(&mut bencher);
-        let mean = bencher.mean;
+        let stats = &bencher.stats;
+        let mean = stats.mean;
         let rate = match self.throughput {
             Some(Throughput::Bytes(b)) if !mean.is_zero() => {
                 format!("  ({:.1} MiB/s)", b as f64 / mean.as_secs_f64() / (1 << 20) as f64)
@@ -138,8 +140,9 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!(
-            "{}/{:<40} {:>12.3?} /iter over {} iters{}",
-            self.name, id, mean, bencher.iters, rate
+            "{}/{:<40} {:>12.3?} /iter over {} iters{}  \
+             [min {:.3?}, max {:.3?}, stddev {:.3?}]",
+            self.name, id, mean, stats.iters, rate, stats.min, stats.max, stats.stddev
         );
     }
 
@@ -147,31 +150,81 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
+/// Summary statistics of the per-iteration wall-clock samples of one
+/// benchmark: mean, min, max and sample standard deviation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleStats {
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+    /// Sample standard deviation (zero with fewer than two samples).
+    pub stddev: Duration,
+    /// Number of measured iterations.
+    pub iters: u64,
+}
+
+impl SampleStats {
+    /// Computes the summary of a set of per-iteration samples. Returns the
+    /// default (all-zero) summary for an empty slice.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return SampleStats::default();
+        }
+        let n = samples.len() as f64;
+        let sum: f64 = samples.iter().map(Duration::as_secs_f64).sum();
+        let mean = sum / n;
+        let var = if samples.len() < 2 {
+            0.0
+        } else {
+            samples
+                .iter()
+                .map(|s| (s.as_secs_f64() - mean).powi(2))
+                .sum::<f64>()
+                / (n - 1.0)
+        };
+        SampleStats {
+            mean: Duration::from_secs_f64(mean),
+            min: *samples.iter().min().expect("non-empty"),
+            max: *samples.iter().max().expect("non-empty"),
+            stddev: Duration::from_secs_f64(var.sqrt()),
+            iters: samples.len() as u64,
+        }
+    }
+}
+
 /// Runs and times one benchmark body.
 pub struct Bencher {
     sample_size: usize,
     measurement_time: Duration,
-    mean: Duration,
-    iters: u64,
+    stats: SampleStats,
 }
 
 impl Bencher {
-    /// Times `routine`, storing the mean over the measured iterations.
+    /// Times `routine` once per sample, storing the mean/min/max/stddev
+    /// over the measured iterations.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         // One warm-up iteration outside the measurement.
         black_box(routine());
         let budget = self.measurement_time;
         let started = Instant::now();
-        let mut iters = 0u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
+            let t0 = Instant::now();
             black_box(routine());
-            iters += 1;
+            samples.push(t0.elapsed());
             if started.elapsed() >= budget {
                 break;
             }
         }
-        self.mean = started.elapsed() / iters.max(1) as u32;
-        self.iters = iters;
+        self.stats = SampleStats::from_samples(&samples);
+    }
+
+    /// The summary of the last [`iter`](Self::iter) call.
+    pub fn stats(&self) -> SampleStats {
+        self.stats
     }
 }
 
@@ -219,5 +272,29 @@ mod tests {
         });
         group.finish();
         assert!(count >= 4); // warm-up + samples
+    }
+
+    #[test]
+    fn sample_stats_summarise_correctly() {
+        let samples = [
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ];
+        let s = SampleStats::from_samples(&samples);
+        assert_eq!(s.mean, Duration::from_millis(20));
+        assert_eq!(s.min, Duration::from_millis(10));
+        assert_eq!(s.max, Duration::from_millis(30));
+        assert_eq!(s.iters, 3);
+        // Sample stddev of {10, 20, 30} ms is 10 ms.
+        assert!((s.stddev.as_secs_f64() - 0.010).abs() < 1e-9);
+
+        let empty = SampleStats::from_samples(&[]);
+        assert_eq!(empty.iters, 0);
+        assert_eq!(empty.stddev, Duration::ZERO);
+
+        let one = SampleStats::from_samples(&[Duration::from_millis(5)]);
+        assert_eq!(one.mean, Duration::from_millis(5));
+        assert_eq!(one.stddev, Duration::ZERO);
     }
 }
