@@ -1,13 +1,15 @@
 //! Regenerates the paper's figures and tables on the simulated platform.
 //!
 //! ```text
-//! figures [--quick] [--full] [--out DIR] [--csv] [ids...]
+//! figures [--quick] [--full] [--open-loop] [--out DIR] [--csv] [ids...]
 //! ```
 //!
 //! * `ids` — experiment identifiers (`fig6`..`fig13`, `table1`, `table2`);
 //!   omitting them runs everything.
 //! * `--quick` — shrink workloads (smoke test of the harness).
 //! * `--full` — extend Figure 13 to the paper's full 2 GB sweep.
+//! * `--open-loop` — run the HTAP experiment in its open-loop form
+//!   (`fig_htap` becomes the `fig_htap_openloop` arrival-rate sweep).
 //! * `--out DIR` — also write one text (and optionally CSV) file per
 //!   experiment into `DIR`.
 //! * `--csv` — write CSV next to the text output.
@@ -22,6 +24,7 @@ struct Args {
     ids: Vec<String>,
     quick: bool,
     full: bool,
+    open_loop: bool,
     out: Option<PathBuf>,
     csv: bool,
 }
@@ -31,6 +34,7 @@ fn parse_args() -> Args {
         ids: Vec::new(),
         quick: false,
         full: false,
+        open_loop: false,
         out: None,
         csv: false,
     };
@@ -39,6 +43,7 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--full" => args.full = true,
+            "--open-loop" => args.open_loop = true,
             "--csv" => args.csv = true,
             "--out" => {
                 let dir = it.next().unwrap_or_else(|| {
@@ -49,7 +54,8 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--quick] [--full] [--out DIR] [--csv] [ids...]\n\
+                    "usage: figures [--quick] [--full] [--open-loop] [--out DIR] [--csv] \
+                     [ids...]\n\
                      available ids: {}",
                     all_experiments().join(", ")
                 );
@@ -60,6 +66,13 @@ fn parse_args() -> Args {
     }
     if args.ids.is_empty() {
         args.ids = all_experiments().iter().map(|s| s.to_string()).collect();
+    }
+    if args.open_loop {
+        for id in &mut args.ids {
+            if id == "fig_htap" {
+                "fig_htap_openloop".clone_into(id);
+            }
+        }
     }
     args
 }

@@ -50,7 +50,12 @@ struct Point {
     dram: DramStats,
 }
 
-fn build_system(model: MemoryModel, cores: usize, rows: u64, row_bytes: usize) -> (System, RowTable) {
+fn build_system(
+    model: MemoryModel,
+    cores: usize,
+    rows: u64,
+    row_bytes: usize,
+) -> (System, RowTable) {
     let mut config = SystemConfig {
         cores,
         mem_bytes: ((rows * row_bytes as u64) as usize + (64 << 20)).next_power_of_two(),
@@ -134,7 +139,9 @@ fn run_htap(model: MemoryModel, rows: u64, oltp_ops: u64) -> (SimTime, SimTime, 
         })]),
     ]);
     sys.begin_measurement(AccessPath::DirectRowWise);
-    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+        .expect("valid workload");
     let mut lat = run.oltp_latencies();
     (lat.p50(), lat.p99(), sys.dram_stats().clone())
 }

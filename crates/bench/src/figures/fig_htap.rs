@@ -36,10 +36,13 @@
 
 use relmem_core::system::{RowEffect, ScanSource, SystemConfig};
 use relmem_core::workload::{QueryStream, Workload, WorkloadOp};
-use relmem_core::{AccessPath, System};
+use relmem_core::{
+    AccessPath, AdmissionConfig, DegradePolicy, OpenLoopOp, OpenLoopStream, OpenLoopWorkload,
+    System,
+};
 use relmem_sim::report::{series_table, Series};
+use relmem_sim::{OverloadStats, SimTime};
 use relmem_storage::{ColumnGroup, DataGen, MvccConfig, RowTable, Schema};
-use relmem_sim::SimTime;
 
 use super::Experiment;
 
@@ -123,7 +126,9 @@ fn run_htap(rows: u64, oltp_ops: u64, cores: usize, path: OlapPath) -> HtapPoint
         OlapPath::RmeHot => AccessPath::RmeHot,
         OlapPath::Direct => AccessPath::DirectRowWise,
     });
-    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+        .expect("valid workload");
     assert_eq!(run.olap_rows(), (cores as u64 - 1) * rows);
 
     let mut lat = run.oltp_latencies();
@@ -224,6 +229,307 @@ pub fn fig_htap(quick: bool) -> Experiment {
                       remaining cores scan one column — tail latency degrades less when the \
                       scans go through the RME than when they read the rows directly"
             .to_string(),
+        tables,
+    }
+}
+
+/// Arrival-rate factors swept relative to the calibrated OLTP service rate.
+/// The knee sits at the first factor whose shed rate becomes material.
+const RATE_FACTORS: [f64; 5] = [0.2, 0.5, 1.0, 2.0, 4.0];
+
+/// One arrival-rate measurement of the open-loop sweep.
+struct OverloadPoint {
+    stats: OverloadStats,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    max_us: f64,
+    queue_p99_us: f64,
+}
+
+/// Closed-loop calibration run (4 cores, direct scans — the worst-case
+/// interference the open-loop sweep then pushes past saturation): returns
+/// the mean contended OLTP latency in nanoseconds and the duration of one
+/// full analytical scan.
+fn calibrate(rows: u64, oltp_ops: u64) -> (f64, SimTime) {
+    let mut sys = System::with_config(SystemConfig {
+        cores: 4,
+        mem_bytes: ((rows * 64) as usize + (64 << 20)).next_power_of_two(),
+        ..SystemConfig::default()
+    });
+    let schema = Schema::benchmark(4, 4, 64);
+    let mut table: RowTable = sys
+        .create_table(schema, rows, MvccConfig::Disabled)
+        .expect("table fits");
+    DataGen::new(1)
+        .fill_table(sys.mem_mut(), &mut table, rows)
+        .expect("fill");
+
+    let oltp: Vec<WorkloadOp> = (0..oltp_ops)
+        .map(|i| oltp_op(&table, i, rows))
+        .collect();
+    let scan = ScanSource::Rows {
+        table: &table,
+        columns: &SCAN_COLUMNS,
+        snapshot: None,
+    };
+    let mut streams = vec![QueryStream::new(oltp)];
+    for _ in 1..4 {
+        streams.push(QueryStream::new(vec![WorkloadOp::olap(scan)]));
+    }
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys
+        .run_workload(
+            &Workload::new(streams),
+            SimTime::ZERO,
+            |_, _, _, _| RowEffect::default(),
+        )
+        .expect("valid workload");
+    let mean_ns = run.oltp_latencies().mean_nanos().max(1.0);
+    let scan_dur = run.streams[1].ops[0].latency().max(SimTime::from_nanos(1));
+    (mean_ns, scan_dur)
+}
+
+/// The deterministic OLTP op mix shared by calibration and the open-loop
+/// template: four lookups then one update, rows spread by a Knuth-style
+/// multiplicative hash.
+fn oltp_op(table: &RowTable, i: u64, rows: u64) -> WorkloadOp<'_> {
+    let row = i.wrapping_mul(2654435761) % rows;
+    if i % 5 == 4 {
+        WorkloadOp::PointUpdate {
+            table,
+            row,
+            column: 1,
+            value: i,
+        }
+    } else {
+        WorkloadOp::PointLookup {
+            table,
+            columns: &OLTP_COLUMNS,
+            row,
+        }
+    }
+}
+
+/// One open-loop run at a given OLTP arrival rate: core 0 takes the
+/// point-query traffic, cores 1–3 take quasi-continuous analytical scans
+/// that degrade from the direct path to the RME path under pressure.
+fn run_htap_open_loop(
+    rows: u64,
+    oltp_rate: f64,
+    oltp_arrivals: u64,
+    scan_rate: f64,
+    scan_arrivals: u64,
+    scan_dur: SimTime,
+    mean_ns: f64,
+) -> OverloadPoint {
+    let mut sys = System::with_config(SystemConfig {
+        cores: 4,
+        mem_bytes: ((rows * 64) as usize + (64 << 20)).next_power_of_two(),
+        ..SystemConfig::default()
+    });
+    let schema = Schema::benchmark(4, 4, 64);
+    let mut table: RowTable = sys
+        .create_table(schema, rows, MvccConfig::Disabled)
+        .expect("table fits");
+    DataGen::new(1)
+        .fill_table(sys.mem_mut(), &mut table, rows)
+        .expect("fill");
+    let var = sys
+        .register_ephemeral(&table, ColumnGroup::new(vec![0]).unwrap(), None)
+        .expect("ephemeral registers");
+
+    let oltp_template: Vec<OpenLoopOp> = (0..100)
+        .map(|i| OpenLoopOp::new(oltp_op(&table, i, rows)))
+        .collect();
+    let scan_template = vec![OpenLoopOp::with_degraded(
+        WorkloadOp::olap(ScanSource::Rows {
+            table: &table,
+            columns: &SCAN_COLUMNS,
+            snapshot: None,
+        }),
+        WorkloadOp::olap(ScanSource::Ephemeral { var: &var }),
+    )];
+
+    let mut streams = vec![OpenLoopStream::new(oltp_template, oltp_rate, oltp_arrivals)];
+    for _ in 1..4 {
+        streams.push(OpenLoopStream::new(
+            scan_template.clone(),
+            scan_rate,
+            scan_arrivals,
+        ));
+    }
+    let workload = OpenLoopWorkload::new(streams);
+
+    let cfg = AdmissionConfig {
+        seed: 42,
+        queue_capacity: 32,
+        // The budget and timeout are sized in scan units: far above any
+        // wait a point query sees below saturation, above the typical
+        // wait of a queued scan — so sheds past the knee come from the
+        // bounded queue, not from a hair-trigger deadline.
+        delay_budget: Some(scan_dur.scaled(8)),
+        timeout: Some(scan_dur.scaled(16)),
+        max_retries: 2,
+        retry_backoff: SimTime::from_nanos(mean_ns as u64 + 1),
+        degrade: Some(DegradePolicy {
+            high_watermark: 24,
+            low_watermark: 4,
+            trigger_after: 8,
+            clear_after: 16,
+        }),
+    };
+
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys
+        .run_open_loop(&workload, &cfg, SimTime::ZERO, |_, _, _, _| {
+            RowEffect::default()
+        })
+        .expect("valid open-loop workload");
+    let mut lat = run.oltp_latencies();
+    let mut queue = run.queue_delays();
+    OverloadPoint {
+        p50_us: lat.p50().as_micros_f64(),
+        p99_us: lat.p99().as_micros_f64(),
+        p999_us: lat.p999().as_micros_f64(),
+        max_us: lat.max().as_micros_f64(),
+        queue_p99_us: queue.p99().as_micros_f64(),
+        stats: run.overload,
+    }
+}
+
+/// Runs the open-loop arrival-rate sweep: OLTP arrivals from 0.2× to 4×
+/// the calibrated contended service rate, reporting the saturation knee
+/// and how shedding plus graceful degradation behave past it.
+pub fn fig_htap_open_loop(quick: bool) -> Experiment {
+    let rows: u64 = if quick { 10_000 } else { 40_000 };
+    let cal_ops: u64 = if quick { 400 } else { 1_000 };
+    let oltp_arrivals: u64 = if quick { 400 } else { 1_200 };
+    let scan_arrivals: u64 = if quick { 6 } else { 10 };
+
+    let (mean_ns, scan_dur) = calibrate(rows, cal_ops);
+    // At 1.0× the OLTP stream arrives exactly as fast as the contended
+    // closed-loop system served it; past that the queue must grow.
+    let base_rate = 1e9 / mean_ns;
+    // Scans re-arrive a little slower than they complete: the analytical
+    // side stays busy without being the overloaded resource.
+    let scan_rate = 1e9 / (1.5 * scan_dur.as_nanos_f64());
+
+    let accounting_names = [
+        "arrivals",
+        "retries",
+        "admitted",
+        "shed (queue full)",
+        "shed (deadline)",
+        "timed out",
+        "completed",
+        "degraded ops",
+        "degrade transitions",
+        "max queue depth",
+    ];
+    let mut accounting: Vec<Series> = accounting_names
+        .iter()
+        .map(|n| Series::new((*n).to_string()))
+        .collect();
+    let latency_names = [
+        "OLTP p50 us",
+        "OLTP p99 us",
+        "OLTP p99.9 us",
+        "OLTP max us",
+        "queue-delay p99 us",
+    ];
+    let mut latency: Vec<Series> = latency_names
+        .iter()
+        .map(|n| Series::new((*n).to_string()))
+        .collect();
+
+    let mut points: Vec<OverloadPoint> = Vec::new();
+    for factor in RATE_FACTORS {
+        let point = run_htap_open_loop(
+            rows,
+            base_rate * factor,
+            oltp_arrivals,
+            scan_rate,
+            scan_arrivals,
+            scan_dur,
+            mean_ns,
+        );
+        let label = format!("{factor}x");
+        let s = &point.stats;
+        for (series, value) in accounting.iter_mut().zip([
+            s.arrivals as f64,
+            s.retries as f64,
+            s.admitted as f64,
+            s.shed_queue_full as f64,
+            s.shed_deadline as f64,
+            s.timed_out as f64,
+            s.completed as f64,
+            s.degraded_ops as f64,
+            s.transitions.len() as f64,
+            s.max_queue_depth as f64,
+        ]) {
+            series.push(label.clone(), value);
+        }
+        for (series, value) in latency.iter_mut().zip([
+            point.p50_us,
+            point.p99_us,
+            point.p999_us,
+            point.max_us,
+            point.queue_p99_us,
+        ]) {
+            series.push(label.clone(), value);
+        }
+        points.push(point);
+    }
+
+    let knee = RATE_FACTORS
+        .iter()
+        .zip(&points)
+        .find(|(_, p)| p.stats.shed_rate() > 0.01)
+        .map(|(f, _)| *f);
+
+    // The CI smoke run leans on these: well below the knee nothing is
+    // shed; past it the bounded queue must reject.
+    let first = points.first().expect("sweep is non-empty");
+    let last = points.last().expect("sweep is non-empty");
+    assert_eq!(
+        first.stats.shed(),
+        0,
+        "no sheds at {}x the calibrated service rate",
+        RATE_FACTORS[0]
+    );
+    assert!(
+        last.stats.shed() > 0,
+        "the bounded queue must shed at {}x the calibrated service rate",
+        RATE_FACTORS[RATE_FACTORS.len() - 1]
+    );
+
+    let tables = vec![
+        series_table(
+            "Open-loop HTAP: admission accounting vs. OLTP arrival rate \
+             (factors of the calibrated contended service rate)",
+            "Arrival rate",
+            &accounting,
+        ),
+        series_table(
+            "Open-loop HTAP: admitted-op OLTP latency vs. arrival rate",
+            "Arrival rate",
+            &latency,
+        ),
+    ];
+    Experiment {
+        id: "fig_htap_openloop",
+        description: format!(
+            "Open-loop arrival-rate sweep of the HTAP mix (calibrated contended OLTP service \
+             time {:.0} ns): the saturation knee sits at {} the calibrated rate; past it the \
+             bounded admission queue sheds, timed-out ops retry with backoff, and sustained \
+             pressure downgrades the concurrent scans from the direct path to the RME path",
+            mean_ns,
+            match knee {
+                Some(f) => format!("{f}x"),
+                None => "beyond 4x".to_string(),
+            }
+        ),
         tables,
     }
 }

@@ -15,5 +15,5 @@ pub mod figures;
 
 pub use figures::{
     all_experiments, experiment_by_id, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13,
-    fig13_multicore, fig_dram_fidelity, fig_htap, table1, table2, Experiment,
+    fig13_multicore, fig_dram_fidelity, fig_htap, fig_htap_open_loop, table1, table2, Experiment,
 };

@@ -26,6 +26,7 @@ pub mod cost;
 pub mod ephemeral;
 pub mod hashtbl;
 pub mod measure;
+pub mod openloop;
 pub mod queries;
 mod stepper;
 pub mod system;
@@ -36,8 +37,12 @@ pub use benchmark::{Benchmark, BenchmarkParams};
 pub use cost::CpuCostModel;
 pub use ephemeral::EphemeralVariable;
 pub use measure::{QueryMeasurement, QueryOutput};
+pub use openloop::{
+    AdmissionConfig, ArrivalProcess, DegradePolicy, OpenLoopOp, OpenLoopOutcome, OpenLoopRun,
+    OpenLoopStream, OpenLoopStreamReport, OpenLoopWorkload,
+};
 pub use queries::Query;
 pub use system::{CoreScan, ShardedScan, System, SystemConfig};
 pub use workload::{
-    OpKind, OpOutcome, QueryStream, StreamReport, Workload, WorkloadOp, WorkloadRun,
+    OpKind, OpOutcome, QueryStream, StreamReport, Workload, WorkloadError, WorkloadOp, WorkloadRun,
 };

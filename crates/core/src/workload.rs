@@ -28,6 +28,14 @@
 //! asserts by proptest. The per-row body is literally the same code: the
 //! crate-private `stepper::ScanJob` shared with `scan_sharded`.
 //!
+//! # Open-loop traffic
+//!
+//! [`System::run_open_loop`] drives the *same* per-unit machinery from
+//! arrival processes instead of fixed per-core op lists: ops arrive in
+//! simulated time independent of service completion, pass through bounded
+//! admission queues with load shedding, timeout/retry and graceful
+//! degradation. See the [`openloop`](crate::openloop) module.
+//!
 //! # Example
 //!
 //! ```
@@ -57,22 +65,161 @@
 //!     ]),
 //! ]);
 //! sys.begin_measurement(AccessPath::DirectRowWise);
-//! let run = sys.run_workload(&workload, SimTime::ZERO, |_core, _op, _row, _values| {
-//!     RowEffect::default()
-//! });
+//! let run = sys
+//!     .run_workload(&workload, SimTime::ZERO, |_core, _op, _row, _values| {
+//!         RowEffect::default()
+//!     })
+//!     .expect("workload fits the system");
 //! assert_eq!(run.streams.len(), 2);
 //! assert_eq!(run.streams[0].ops[0].rows, 5_000);
 //! assert_eq!(run.oltp_latencies().count(), 3);
 //! ```
 
+use std::fmt;
+
 use relmem_cache::HierarchyStats;
 use relmem_sim::{LatencyProfile, SimTime};
-use relmem_storage::{RowTable, Snapshot, Timestamp, Value};
+use relmem_storage::{ColumnType, RowTable, Snapshot, Timestamp, Value};
 
 use crate::stepper::ScanJob;
 use crate::system::{DramBackend, RowEffect, ScanSource, System};
 
+/// A workload (or open-loop traffic) configuration the system cannot run.
+///
+/// Every condition here used to be a panic (or an internal `expect`)
+/// reachable from public configuration; [`System::run_workload`] and
+/// [`System::run_open_loop`](crate::openloop) validate everything upfront
+/// and return one of these instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// More streams than the system has cores (stream `i` runs on core
+    /// `i`; there is no oversubscription model).
+    TooManyStreams {
+        /// Streams in the workload.
+        streams: usize,
+        /// Cores the system simulates.
+        cores: usize,
+    },
+    /// A point op addresses a row outside its table.
+    RowOutOfRange {
+        /// Stream holding the op.
+        stream: usize,
+        /// Op index within the stream (template index for open-loop).
+        op: usize,
+        /// The offending row.
+        row: u64,
+        /// Rows the table holds.
+        rows: u64,
+    },
+    /// An op names a column the schema does not have.
+    ColumnOutOfRange {
+        /// Stream holding the op.
+        stream: usize,
+        /// Op index within the stream.
+        op: usize,
+        /// The offending column index.
+        column: usize,
+        /// Columns in the schema.
+        columns: usize,
+    },
+    /// A [`WorkloadOp::PointUpdate`] targets a non-`UInt` column.
+    NonUIntUpdate {
+        /// Stream holding the op.
+        stream: usize,
+        /// Op index within the stream.
+        op: usize,
+        /// The offending column index.
+        column: usize,
+    },
+    /// A [`WorkloadOp::PointDelete`] targets a table without MVCC headers.
+    MvccRequired {
+        /// Stream holding the op.
+        stream: usize,
+        /// Op index within the stream.
+        op: usize,
+    },
+    /// An open-loop stream's arrival rate is zero, negative or non-finite.
+    InvalidArrivalRate {
+        /// The offending stream.
+        stream: usize,
+    },
+    /// An open-loop stream generates arrivals but has no ops to inject.
+    EmptyTemplate {
+        /// The offending stream.
+        stream: usize,
+    },
+    /// The admission queue capacity is zero (nothing could ever be
+    /// admitted).
+    ZeroQueueCapacity,
+    /// A degradation policy's low watermark exceeds its high watermark.
+    InvalidWatermarks {
+        /// Queue depth that counts as pressure.
+        high: usize,
+        /// Queue depth that counts as calm.
+        low: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WorkloadError::TooManyStreams { streams, cores } => write!(
+                f,
+                "workload has {streams} streams but the system only has {cores} cores"
+            ),
+            WorkloadError::RowOutOfRange {
+                stream,
+                op,
+                row,
+                rows,
+            } => write!(
+                f,
+                "stream {stream} op {op} addresses row {row} of a {rows}-row table"
+            ),
+            WorkloadError::ColumnOutOfRange {
+                stream,
+                op,
+                column,
+                columns,
+            } => write!(
+                f,
+                "stream {stream} op {op} names column {column} of a {columns}-column schema"
+            ),
+            WorkloadError::NonUIntUpdate { stream, op, column } => write!(
+                f,
+                "stream {stream} op {op} updates column {column}, which is not a UInt column"
+            ),
+            WorkloadError::MvccRequired { stream, op } => write!(
+                f,
+                "stream {stream} op {op} deletes from a table without MVCC headers"
+            ),
+            WorkloadError::InvalidArrivalRate { stream } => write!(
+                f,
+                "open-loop stream {stream} needs a positive, finite arrival rate"
+            ),
+            WorkloadError::EmptyTemplate { stream } => write!(
+                f,
+                "open-loop stream {stream} generates arrivals but its op template is empty"
+            ),
+            WorkloadError::ZeroQueueCapacity => {
+                write!(f, "admission queue capacity must be at least 1")
+            }
+            WorkloadError::InvalidWatermarks { high, low } => write!(
+                f,
+                "degradation low watermark {low} exceeds high watermark {high}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// One operation of a per-core query stream.
+///
+/// Ops hold only shared references and copyable payloads, so they are
+/// `Copy` — the open-loop driver re-injects the same template op for every
+/// arrival.
+#[derive(Clone, Copy)]
 pub enum WorkloadOp<'a> {
     /// An analytical scan over any [`ScanSource`]. With `stream_snapshot`
     /// set and a row source, the scan reads under the stream's *current*
@@ -143,6 +290,76 @@ impl<'a> WorkloadOp<'a> {
             WorkloadOp::PointUpdate { .. } => OpKind::PointUpdate,
             WorkloadOp::PointDelete { .. } => OpKind::PointDelete,
             WorkloadOp::TakeSnapshot { .. } => OpKind::TakeSnapshot,
+        }
+    }
+
+    /// Checks the op against its tables' schemas: rows in range, columns
+    /// present, updates target `UInt` columns, deletes require MVCC.
+    /// `stream`/`op` only label the error. Running a validated op cannot
+    /// hit the storage layer's internal error paths.
+    pub(crate) fn validate(&self, stream: usize, op: usize) -> Result<(), WorkloadError> {
+        let check_row = |table: &RowTable, row: u64| {
+            if row >= table.num_rows() {
+                Err(WorkloadError::RowOutOfRange {
+                    stream,
+                    op,
+                    row,
+                    rows: table.num_rows(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_columns = |count: usize, columns: &[usize]| {
+            for &column in columns {
+                if column >= count {
+                    return Err(WorkloadError::ColumnOutOfRange {
+                        stream,
+                        op,
+                        column,
+                        columns: count,
+                    });
+                }
+            }
+            Ok(())
+        };
+        match *self {
+            WorkloadOp::OlapScan { source, .. } => match source {
+                ScanSource::Rows { table, columns, .. } => {
+                    check_columns(table.schema().num_columns(), columns)
+                }
+                ScanSource::Columnar { table, columns } => {
+                    check_columns(table.schema().num_columns(), columns)
+                }
+                ScanSource::Ephemeral { .. } => Ok(()),
+            },
+            WorkloadOp::PointLookup {
+                table,
+                columns,
+                row,
+            } => {
+                check_row(table, row)?;
+                check_columns(table.schema().num_columns(), columns)
+            }
+            WorkloadOp::PointUpdate {
+                table, row, column, ..
+            } => {
+                check_row(table, row)?;
+                check_columns(table.schema().num_columns(), &[column])?;
+                match table.schema().column(column) {
+                    Ok(def) if matches!(def.ty, ColumnType::UInt(_)) => Ok(()),
+                    _ => Err(WorkloadError::NonUIntUpdate { stream, op, column }),
+                }
+            }
+            WorkloadOp::PointDelete { table, row, .. } => {
+                check_row(table, row)?;
+                if table.mvcc().is_enabled() {
+                    Ok(())
+                } else {
+                    Err(WorkloadError::MvccRequired { stream, op })
+                }
+            }
+            WorkloadOp::TakeSnapshot { .. } => Ok(()),
         }
     }
 }
@@ -285,7 +502,7 @@ impl WorkloadRun {
 }
 
 /// A stream's in-progress OLAP scan.
-struct ActiveScan<'a> {
+pub(crate) struct ActiveScan<'a> {
     job: ScanJob<'a>,
     next_row: u64,
     rows_scanned: u64,
@@ -293,23 +510,58 @@ struct ActiveScan<'a> {
     start: SimTime,
 }
 
-/// Per-stream scheduler state.
-struct StreamState<'a, 'w> {
-    ops: &'w [WorkloadOp<'a>],
-    /// Next op to start (ops before it are finished or active).
-    next_op: usize,
-    active: Option<ActiveScan<'a>>,
-    now: SimTime,
-    cpu: SimTime,
-    rows: u64,
-    snapshot: Option<Snapshot>,
-    values: Vec<u64>,
-    outcomes: Vec<OpOutcome>,
+/// Per-stream scheduler state. Shared with the open-loop driver
+/// ([`crate::openloop`]), which wraps one per core — the data path (clock,
+/// CPU charge, snapshot, active scan) is identical in both modes.
+pub(crate) struct StreamState<'a, 'w> {
+    pub(crate) ops: &'w [WorkloadOp<'a>],
+    /// Next op to start (ops before it are finished or active). The
+    /// open-loop driver leaves this at 0 and feeds ops explicitly.
+    pub(crate) next_op: usize,
+    pub(crate) active: Option<ActiveScan<'a>>,
+    pub(crate) now: SimTime,
+    pub(crate) cpu: SimTime,
+    pub(crate) rows: u64,
+    pub(crate) snapshot: Option<Snapshot>,
+    pub(crate) values: Vec<u64>,
+    pub(crate) outcomes: Vec<OpOutcome>,
 }
 
-impl StreamState<'_, '_> {
+impl<'a, 'w> StreamState<'a, 'w> {
+    /// A fresh stream over `ops` with its clock at `start`.
+    pub(crate) fn fresh(ops: &'w [WorkloadOp<'a>], start: SimTime) -> Self {
+        StreamState {
+            ops,
+            next_op: 0,
+            active: None,
+            now: start,
+            cpu: SimTime::ZERO,
+            rows: 0,
+            snapshot: None,
+            values: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
     fn finished(&self) -> bool {
         self.active.is_none() && self.next_op >= self.ops.len()
+    }
+
+    /// Whether the stream's next unit is a row of an ephemeral (RME) scan.
+    pub(crate) fn ephemeral_next(&self) -> bool {
+        self.active
+            .as_ref()
+            .is_some_and(|a| a.job.frame_rows().is_some())
+    }
+
+    /// Whether the next ephemeral row lies in the given resident
+    /// Reorganization-Buffer frame.
+    pub(crate) fn in_frame(&self, resident: Option<u64>) -> bool {
+        self.active.as_ref().is_some_and(|a| {
+            a.job
+                .frame_rows()
+                .is_some_and(|fr| resident == Some(a.next_row / fr))
+        })
     }
 }
 
@@ -340,40 +592,37 @@ impl System {
     /// called for [`WorkloadOp::TakeSnapshot`], point deletes or rows
     /// invisible under the governing snapshot.
     ///
-    /// # Panics
-    /// Panics if the workload has more streams than the system has cores,
-    /// if a point op addresses a row outside its table, if a
-    /// [`WorkloadOp::PointUpdate`] targets a non-`UInt` column, or if a
-    /// [`WorkloadOp::PointDelete`] targets a table without MVCC headers.
+    /// # Errors
+    /// Returns a [`WorkloadError`] — before any simulated work runs — if
+    /// the workload has more streams than the system has cores, a point op
+    /// addresses a row outside its table, an op names a column the schema
+    /// does not have, a [`WorkloadOp::PointUpdate`] targets a non-`UInt`
+    /// column, or a [`WorkloadOp::PointDelete`] targets a table without
+    /// MVCC headers.
     pub fn run_workload<F>(
         &mut self,
         workload: &Workload<'_>,
         start: SimTime,
         mut observer: F,
-    ) -> WorkloadRun
+    ) -> Result<WorkloadRun, WorkloadError>
     where
         F: FnMut(usize, usize, u64, &[u64]) -> RowEffect,
     {
-        assert!(
-            workload.streams.len() <= self.cores.len(),
-            "workload has {} streams but the system only has {} cores",
-            workload.streams.len(),
-            self.cores.len()
-        );
+        if workload.streams.len() > self.cores.len() {
+            return Err(WorkloadError::TooManyStreams {
+                streams: workload.streams.len(),
+                cores: self.cores.len(),
+            });
+        }
+        for (i, stream) in workload.streams.iter().enumerate() {
+            for (j, op) in stream.ops.iter().enumerate() {
+                op.validate(i, j)?;
+            }
+        }
         let mut states: Vec<StreamState<'_, '_>> = workload
             .streams
             .iter()
-            .map(|stream| StreamState {
-                ops: &stream.ops,
-                next_op: 0,
-                active: None,
-                now: start,
-                cpu: SimTime::ZERO,
-                rows: 0,
-                snapshot: None,
-                values: Vec::new(),
-                outcomes: Vec::new(),
-            })
+            .map(|stream| StreamState::fresh(&stream.ops, start))
             .collect();
 
         loop {
@@ -385,21 +634,9 @@ impl System {
             // must never defer a frame turnover it does not participate
             // in, nor be deferred by one.
             let resident = self.engine.resident_frame();
-            let ephemeral_next = |st: &StreamState<'_, '_>| {
-                st.active
-                    .as_ref()
-                    .is_some_and(|a| a.job.frame_rows().is_some())
-            };
-            let in_resident_frame = |st: &StreamState<'_, '_>| {
-                st.active.as_ref().is_some_and(|a| {
-                    a.job
-                        .frame_rows()
-                        .is_some_and(|fr| resident == Some(a.next_row / fr))
-                })
-            };
-            let plain = pick_stream(&states, |st| !ephemeral_next(st));
-            let eph = pick_stream(&states, |st| ephemeral_next(st) && in_resident_frame(st))
-                .or_else(|| pick_stream(&states, ephemeral_next));
+            let plain = pick_stream(&states, |st| !st.ephemeral_next());
+            let eph = pick_stream(&states, |st| st.ephemeral_next() && st.in_frame(resident))
+                .or_else(|| pick_stream(&states, |st| st.ephemeral_next()));
             let pick = match (plain, eph) {
                 (Some(a), Some(b)) => {
                     // Smaller local clock wins; ties go to the lower core
@@ -437,12 +674,12 @@ impl System {
                 cache: *self.cores[core].stats(),
             });
         }
-        WorkloadRun {
+        Ok(WorkloadRun {
             end,
             cpu,
             rows,
             streams,
-        }
+        })
     }
 
     /// Advances one stream by one unit: a row of the active scan, or one
@@ -453,43 +690,78 @@ impl System {
         F: FnMut(usize, usize, u64, &[u64]) -> RowEffect,
     {
         // One row of the in-progress scan, if any.
-        if let Some(active) = &mut st.active {
-            let row = active.next_row;
-            active.next_row += 1;
-            let op = active.op;
-            let step = active.job.step_row(
-                self.parts(),
-                core,
-                row,
-                st.now,
-                &mut st.values,
-                &mut |r, v| observer(core, op, r, v),
-            );
-            st.now = step.now;
-            st.cpu += step.cpu;
-            if step.scanned {
-                active.rows_scanned += 1;
-                st.rows += 1;
-            }
-            if active.next_row >= active.job.rows() {
-                st.outcomes.push(OpOutcome {
-                    op: active.op,
-                    kind: OpKind::OlapScan,
-                    start: active.start,
-                    end: st.now,
-                    rows: active.rows_scanned,
-                });
-                st.active = None;
-            }
+        if self.step_scan_row(core, st, observer) {
             return;
         }
 
-        // Otherwise start/execute the next op. Copy the slice reference
-        // out so the borrows of the op don't pin `st` itself.
-        let ops = st.ops;
+        // Otherwise start/execute the next op. Copy the op out so its
+        // borrows don't pin `st` itself.
         let op_idx = st.next_op;
         st.next_op += 1;
-        match &ops[op_idx] {
+        let op = st.ops[op_idx];
+        self.start_op(core, st, op_idx, op, observer);
+    }
+
+    /// Advances one row of the stream's active scan, recording the
+    /// [`OpOutcome`] when the scan completes. Returns `false` — and does
+    /// nothing — if no scan is active.
+    pub(crate) fn step_scan_row<F>(
+        &mut self,
+        core: usize,
+        st: &mut StreamState<'_, '_>,
+        observer: &mut F,
+    ) -> bool
+    where
+        F: FnMut(usize, usize, u64, &[u64]) -> RowEffect,
+    {
+        let Some(active) = &mut st.active else {
+            return false;
+        };
+        let row = active.next_row;
+        active.next_row += 1;
+        let op = active.op;
+        let step = active.job.step_row(
+            self.parts(),
+            core,
+            row,
+            st.now,
+            &mut st.values,
+            &mut |r, v| observer(core, op, r, v),
+        );
+        st.now = step.now;
+        st.cpu += step.cpu;
+        if step.scanned {
+            active.rows_scanned += 1;
+            st.rows += 1;
+        }
+        if active.next_row >= active.job.rows() {
+            st.outcomes.push(OpOutcome {
+                op: active.op,
+                kind: OpKind::OlapScan,
+                start: active.start,
+                end: st.now,
+                rows: active.rows_scanned,
+            });
+            st.active = None;
+        }
+        true
+    }
+
+    /// Starts (scans) or executes (point ops, snapshots) `op`, labelling
+    /// its outcome `op_idx`. Scans with rows become the stream's active
+    /// scan; every other op completes within the call and pushes its
+    /// [`OpOutcome`].
+    pub(crate) fn start_op<'a, F>(
+        &mut self,
+        core: usize,
+        st: &mut StreamState<'a, '_>,
+        op_idx: usize,
+        op: WorkloadOp<'a>,
+        observer: &mut F,
+    ) where
+        F: FnMut(usize, usize, u64, &[u64]) -> RowEffect,
+    {
+        match &op {
             WorkloadOp::OlapScan {
                 source,
                 stream_snapshot,
@@ -526,8 +798,7 @@ impl System {
                 columns,
                 row,
             } => {
-                let outcome =
-                    self.point_lookup(core, st, op_idx, table, columns, *row, observer);
+                let outcome = self.point_lookup(core, st, op_idx, table, columns, *row, observer);
                 st.outcomes.push(outcome);
             }
             WorkloadOp::PointUpdate {

@@ -65,6 +65,11 @@ pub struct DramStats {
     /// [`accesses`](Self::accesses) for the mean queue occupancy — or use
     /// [`avg_queue_occupancy`](Self::avg_queue_occupancy).
     pub queue_occupancy_sum: u64,
+    /// Maximum transactions simultaneously in flight, sampled at each
+    /// admission *including* the request being admitted (cycle-accurate
+    /// model only). Equal to the configured queue depth once the
+    /// transaction queue has saturated at least once.
+    pub queue_occupancy_max: u64,
 }
 
 impl DramStats {
@@ -313,8 +318,14 @@ mod tests {
         };
         let (spread_plain, finish_plain) = run(false);
         let (spread_hashed, finish_hashed) = run(true);
-        assert_eq!(spread_plain, 1, "plain mapping camps all shards on one bank");
-        assert_eq!(spread_hashed, 4, "hashed mapping spreads shards across banks");
+        assert_eq!(
+            spread_plain, 1,
+            "plain mapping camps all shards on one bank"
+        );
+        assert_eq!(
+            spread_hashed, 4,
+            "hashed mapping spreads shards across banks"
+        );
         assert!(
             finish_hashed < finish_plain,
             "spreading must unserialize the shard openings ({finish_hashed} vs {finish_plain})"

@@ -80,6 +80,13 @@ impl LatencyProfile {
         self.percentile(0.99)
     }
 
+    /// 99.9th-percentile latency — the tail the open-loop overload
+    /// experiments report. Nearest-rank like every other percentile, so on
+    /// fewer than 1000 samples this is simply the maximum.
+    pub fn p999(&mut self) -> SimTime {
+        self.percentile(0.999)
+    }
+
     /// Largest sample (or zero when empty).
     pub fn max(&mut self) -> SimTime {
         self.percentile(1.0)
@@ -92,6 +99,94 @@ impl LatencyProfile {
             return 0.0;
         }
         self.samples.iter().map(|s| s.as_nanos_f64()).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The raw samples, in insertion order until a percentile query sorts
+    /// them. Exposed so determinism tests can compare whole profiles.
+    pub fn samples(&self) -> &[SimTime] {
+        &self.samples
+    }
+}
+
+impl FromIterator<SimTime> for LatencyProfile {
+    fn from_iter<T: IntoIterator<Item = SimTime>>(iter: T) -> Self {
+        let mut profile = LatencyProfile::new();
+        for s in iter {
+            profile.push(s);
+        }
+        profile
+    }
+}
+
+/// One recorded graceful-degradation transition of an open-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeTransition {
+    /// Simulated time of the transition.
+    pub at: SimTime,
+    /// `true`: the system entered the degraded mode (OLAP ops switch to
+    /// their downgraded form); `false`: pressure cleared and the system
+    /// restored the normal paths.
+    pub degraded: bool,
+}
+
+/// Admission-control counters of one open-loop run.
+///
+/// Kept here (next to [`LatencyProfile`]) so every layer that reports
+/// overload behaviour — the workload scheduler, the figure harness, the
+/// tests — shares a single definition. The counters satisfy
+///
+/// ```text
+/// arrivals + retries == admitted + shed_queue_full
+/// admitted          == completed + shed_deadline + timed_out_in_queue
+/// ```
+///
+/// where `timed_out_in_queue` is the portion of [`timed_out`](Self::timed_out)
+/// whose client deadline expired before service started (the scheduler
+/// drops those at dequeue instead of doing wasted work).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// First-admission attempts presented by the arrival process.
+    pub arrivals: u64,
+    /// Retry attempts presented (timed-out ops re-entering the queue).
+    pub retries: u64,
+    /// Attempts that entered an admission queue (first + retry).
+    pub admitted: u64,
+    /// Attempts rejected because the queue was at capacity.
+    pub shed_queue_full: u64,
+    /// Admitted ops dropped at dequeue because their queueing delay
+    /// exceeded the configured budget.
+    pub shed_deadline: u64,
+    /// Client-visible timeouts: ops whose end-to-end latency exceeded the
+    /// per-op timeout, whether the deadline expired in the queue or during
+    /// service.
+    pub timed_out: u64,
+    /// Attempts serviced to completion (including ones that completed past
+    /// their client timeout — wasted work the server still performed).
+    pub completed: u64,
+    /// Ops serviced through their downgraded form while the system was in
+    /// the degraded state.
+    pub degraded_ops: u64,
+    /// Largest admission-queue depth observed on any core.
+    pub max_queue_depth: u64,
+    /// Every graceful-degradation transition, in simulated-time order.
+    pub transitions: Vec<DegradeTransition>,
+}
+
+impl OverloadStats {
+    /// Total ops shed (queue-full rejections plus deadline drops).
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline
+    }
+
+    /// Fraction of presented attempts that were shed (`0.0` when nothing
+    /// arrived).
+    pub fn shed_rate(&self) -> f64 {
+        let presented = self.arrivals + self.retries;
+        if presented == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / presented as f64
+        }
     }
 }
 
@@ -240,7 +335,9 @@ mod tests {
 
     #[test]
     fn mean_std_matches_reference() {
-        let acc: MeanStd = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let acc: MeanStd = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(acc.count(), 8);
         assert!((acc.mean() - 5.0).abs() < 1e-12);
         // Population std dev of that classic data set is 2.
@@ -278,11 +375,91 @@ mod tests {
     }
 
     #[test]
+    fn empty_profile_reports_zero_everywhere() {
+        let mut lat = LatencyProfile::new();
+        assert_eq!(lat.count(), 0);
+        assert_eq!(lat.p50(), SimTime::ZERO);
+        assert_eq!(lat.p99(), SimTime::ZERO);
+        assert_eq!(lat.p999(), SimTime::ZERO);
+        assert_eq!(lat.max(), SimTime::ZERO);
+        assert_eq!(lat.percentile(0.0), SimTime::ZERO);
+        assert_eq!(lat.mean_nanos(), 0.0);
+        assert!(lat.samples().is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut lat = LatencyProfile::new();
+        lat.push(SimTime::from_nanos(42));
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(lat.percentile(p), SimTime::from_nanos(42), "p = {p}");
+        }
+        assert!((lat.mean_nanos() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p999_nearest_rank_on_small_counts() {
+        // Nearest rank: rank = ceil(0.999 * n). For n < 1000 that is n
+        // (the maximum); at n = 1000 it first drops below the maximum,
+        // to rank 999 (0.999 * 1000 rounds to 999 in f64).
+        let fill = |n: u64| -> LatencyProfile { (1..=n).map(SimTime::from_nanos).collect() };
+        assert_eq!(fill(10).p999(), SimTime::from_nanos(10));
+        assert_eq!(fill(100).p999(), SimTime::from_nanos(100));
+        assert_eq!(fill(999).p999(), SimTime::from_nanos(999));
+        assert_eq!(fill(1000).p999(), SimTime::from_nanos(999));
+        assert_eq!(fill(1001).p999(), SimTime::from_nanos(1000));
+        // And the rounding never exceeds the maximum.
+        assert_eq!(fill(3).p999(), fill(3).max());
+    }
+
+    #[test]
+    fn overload_stats_shed_accounting() {
+        let mut o = OverloadStats::default();
+        assert_eq!(o.shed(), 0);
+        assert_eq!(o.shed_rate(), 0.0);
+        o.arrivals = 90;
+        o.retries = 10;
+        o.shed_queue_full = 4;
+        o.shed_deadline = 1;
+        assert_eq!(o.shed(), 5);
+        assert!((o.shed_rate() - 0.05).abs() < 1e-12);
+        o.transitions.push(DegradeTransition {
+            at: SimTime::from_nanos(7),
+            degraded: true,
+        });
+        assert_eq!(o.clone(), o, "OverloadStats compares structurally");
+    }
+
+    #[test]
     fn display_formats() {
         let mut c = Counter::new();
         c.add(3);
         assert_eq!(c.to_string(), "3");
         let acc: MeanStd = [1.0, 3.0].into_iter().collect();
         assert_eq!(acc.to_string(), "2.000 ± 1.000");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Nearest-rank percentiles are monotone in `p` for any sample
+            /// set: p50 ≤ p99 ≤ p99.9 ≤ max.
+            #[test]
+            fn percentiles_are_monotone(
+                samples in proptest::collection::vec(0u64..1_000_000_000, 1..400)
+            ) {
+                let mut lat: LatencyProfile =
+                    samples.into_iter().map(SimTime::from_nanos).collect();
+                let p50 = lat.p50();
+                let p99 = lat.p99();
+                let p999 = lat.p999();
+                let max = lat.max();
+                prop_assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+                prop_assert!(p99 <= p999, "p99 {p99} > p99.9 {p999}");
+                prop_assert!(p999 <= max, "p99.9 {p999} > max {max}");
+            }
+        }
     }
 }

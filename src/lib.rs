@@ -42,8 +42,10 @@ pub use relmem_storage as storage;
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use relmem_core::{
-        AccessPath, Benchmark, BenchmarkParams, CoreScan, CpuCostModel, EphemeralVariable,
-        Query, QueryMeasurement, QueryOutput, ShardedScan, System, SystemConfig,
+        AccessPath, AdmissionConfig, Benchmark, BenchmarkParams, CoreScan, CpuCostModel,
+        DegradePolicy, EphemeralVariable, OpenLoopOp, OpenLoopRun, OpenLoopStream,
+        OpenLoopWorkload, Query, QueryMeasurement, QueryOutput, ShardedScan, System,
+        SystemConfig, WorkloadError,
     };
     pub use relmem_rme::{HwRevision, RmeEngine, TableGeometry};
     pub use relmem_sim::{PlatformConfig, SimTime};

@@ -256,13 +256,14 @@ mod scan_equivalence {
             Engine::WorkloadOneCore => {
                 let workload =
                     Workload::new(vec![QueryStream::new(vec![WorkloadOp::olap(source)])]);
-                let run =
-                    sys.run_workload(&workload, SimTime::ZERO, |core, op, row, vals: &[u64]| {
+                let run = sys
+                    .run_workload(&workload, SimTime::ZERO, |core, op, row, vals: &[u64]| {
                         assert_eq!(core, 0, "one stream runs on core 0");
                         assert_eq!(op, 0, "the stream holds a single op");
                         values.push(vals.to_vec());
                         effect_of(row)
-                    });
+                    })
+                    .expect("valid workload");
                 (run.end, run.cpu, run.rows)
             }
         };
@@ -344,6 +345,174 @@ mod scan_equivalence {
                 let workload = run_case(kind, Engine::WorkloadOneCore, seed, &widths, rows, &columns);
                 prop_assert_eq!(&scan, &workload, "diverged for {:?}", kind);
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop traffic ≡ closed-loop stream on the data path
+// ---------------------------------------------------------------------------
+
+mod open_loop_equivalence {
+    use super::*;
+    use relational_memory::cache::HierarchyStats;
+    use relational_memory::core::system::RowEffect;
+    use relational_memory::core::workload::{QueryStream, Workload, WorkloadOp};
+    use relational_memory::core::{AdmissionConfig, OpenLoopOp, OpenLoopStream, OpenLoopWorkload};
+    use relational_memory::dram::DramStats;
+    use relational_memory::storage::MvccConfig;
+
+    /// Everything the data path produces for one op sequence: the observer
+    /// trace (op label, row, projected values) plus every hardware counter.
+    /// Deliberately excludes wall-clock (`end`) — open-loop arrival gaps
+    /// shift the timeline — but includes charged CPU, which must match.
+    #[derive(Debug, Clone, PartialEq)]
+    struct PathRecord {
+        cpu: SimTime,
+        rows: u64,
+        trace: Vec<(usize, u64, Vec<u64>)>,
+        cache: HierarchyStats,
+        dram: DramStats,
+        rme: relational_memory::rme::RmeStats,
+    }
+
+    /// A deterministic mixed op sequence: scans interleaved with hashed
+    /// point lookups (and updates when a UInt column exists).
+    fn build_ops<'a>(
+        table: &'a RowTable,
+        columns: &'a [usize],
+        update_col: Option<usize>,
+        rows: u64,
+        n: u64,
+    ) -> Vec<WorkloadOp<'a>> {
+        (0..n)
+            .map(|i| {
+                let row = i.wrapping_mul(2654435761) % rows;
+                match (i % 4, update_col) {
+                    (0, _) => WorkloadOp::olap(ScanSource::Rows {
+                        table,
+                        columns,
+                        snapshot: None,
+                    }),
+                    (3, Some(column)) => WorkloadOp::PointUpdate {
+                        table,
+                        row,
+                        column,
+                        value: i,
+                    },
+                    _ => WorkloadOp::PointLookup {
+                        table,
+                        columns,
+                        row,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Builds an identical world per call and runs the op sequence either
+    /// closed-loop (one stream on one core) or open-loop (one low-rate
+    /// arrival stream on one core, ample queue, no shedding policy).
+    fn run_path(
+        open: bool,
+        seed: u64,
+        widths: &[usize],
+        rows: u64,
+        columns: &[usize],
+        n_ops: u64,
+    ) -> PathRecord {
+        let mut sys = System::with_revision(HwRevision::Mlp, 32 << 20);
+        let schema = schema_from_widths(widths);
+        let mut table = sys
+            .create_table(schema, rows, MvccConfig::Disabled)
+            .unwrap();
+        DataGen::new(seed)
+            .fill_table(sys.mem_mut(), &mut table, rows)
+            .unwrap();
+        let update_col = widths.iter().position(|&w| w <= 8);
+        let ops = build_ops(&table, columns, update_col, rows, n_ops);
+
+        sys.begin_measurement(AccessPath::DirectRowWise);
+        let mut trace: Vec<(usize, u64, Vec<u64>)> = Vec::new();
+        let (end, cpu, rows_done) = if open {
+            let template: Vec<OpenLoopOp> = ops.into_iter().map(OpenLoopOp::new).collect();
+            // One arrival per template op, injected in order at a rate slow
+            // enough that the queue sees light (but occasionally nonzero)
+            // backlog. The admission policy is inert: ample capacity, no
+            // deadline, no timeout, no degradation.
+            let workload = OpenLoopWorkload::new(vec![OpenLoopStream::new(
+                template,
+                50_000.0,
+                n_ops,
+            )]);
+            let cfg = AdmissionConfig {
+                seed: seed ^ 0xBEEF,
+                queue_capacity: 4096,
+                ..AdmissionConfig::default()
+            };
+            let run = sys
+                .run_open_loop(&workload, &cfg, SimTime::ZERO, |core, op, row, vals| {
+                    assert_eq!(core, 0);
+                    trace.push((op, row, vals.to_vec()));
+                    RowEffect::default()
+                })
+                .expect("valid open-loop workload");
+            let o = &run.overload;
+            assert_eq!(o.arrivals, n_ops);
+            assert_eq!(o.completed, n_ops, "the inert policy admits everything");
+            assert_eq!(o.shed() + o.timed_out + o.retries, 0);
+            // FIFO admission at one arrival per template op preserves the
+            // closed-loop op order exactly.
+            for (i, out) in run.streams[0].outcomes.iter().enumerate() {
+                assert_eq!(out.template, i);
+                assert_eq!(out.attempt, 0);
+                assert!(!out.degraded);
+            }
+            (run.end, run.cpu, run.rows)
+        } else {
+            let workload = Workload::new(vec![QueryStream::new(ops)]);
+            let run = sys
+                .run_workload(&workload, SimTime::ZERO, |core, op, row, vals| {
+                    assert_eq!(core, 0);
+                    trace.push((op, row, vals.to_vec()));
+                    RowEffect::default()
+                })
+                .expect("valid workload");
+            (run.end, run.cpu, run.rows)
+        };
+        let m = sys.finish_measurement(end, cpu, AccessPath::DirectRowWise);
+        PathRecord {
+            cpu,
+            rows: rows_done,
+            trace,
+            cache: m.cache,
+            dram: m.dram,
+            rme: m.rme,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// A low-rate open-loop run on one core must execute the exact
+        /// same op sequence as the equivalent closed-loop stream, with an
+        /// identical observer trace, identical charged CPU and identical
+        /// cache/DRAM/RME counters — the admission machinery only delays
+        /// *when* ops run, never *what* the data path does. (On one core
+        /// with the occupancy DRAM model every data-path counter depends
+        /// only on the address sequence, so arrival gaps cannot leak in.)
+        #[test]
+        fn low_rate_open_loop_is_counter_identical_to_closed_loop(
+            widths in proptest::collection::vec(1usize..=12, 2..=6),
+            rows in 1u64..200,
+            seed in 0u64..1_000,
+            pick in proptest::collection::vec(any::<bool>(), 6),
+        ) {
+            let columns: Vec<usize> = (0..widths.len()).filter(|&i| pick[i]).collect();
+            prop_assume!(!columns.is_empty());
+            let closed = run_path(false, seed, &widths, rows, &columns, 12);
+            let open = run_path(true, seed, &widths, rows, &columns, 12);
+            prop_assert_eq!(&closed, &open);
         }
     }
 }

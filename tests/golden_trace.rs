@@ -332,10 +332,12 @@ fn golden_workload_htap_2core() {
         }]),
     ]);
     sys.begin_measurement(AccessPath::DirectRowWise);
-    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, row, _| RowEffect {
-        cpu: SimTime::from_nanos(row % 3),
-        touch: None,
-    });
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, row, _| RowEffect {
+            cpu: SimTime::from_nanos(row % 3),
+            touch: None,
+        })
+        .expect("valid workload");
     check_golden(
         "workload_htap_2core",
         &render_snapshot(&sys, run.end, run.cpu, run.rows),
@@ -357,7 +359,9 @@ fn golden_workload_single_stream_1core() {
         },
     )])]);
     sys.begin_measurement(AccessPath::DirectRowWise);
-    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+        .expect("valid workload");
     check_golden(
         "workload_single_stream_1core",
         &render_snapshot(&sys, run.end, run.cpu, run.rows),

@@ -4,7 +4,7 @@
 //! go through the RME than when they read the rows directly.
 
 use relational_memory::core::system::{RowEffect, ScanSource, SystemConfig};
-use relational_memory::core::workload::{OpKind, QueryStream, Workload, WorkloadOp};
+use relational_memory::core::workload::{OpKind, QueryStream, Workload, WorkloadError, WorkloadOp};
 use relational_memory::prelude::*;
 use relmem_sim::SimTime;
 
@@ -33,9 +33,11 @@ fn zero_query_streams_complete_instantly() {
         QueryStream::empty(),
     ]);
     sys.begin_measurement(AccessPath::DirectRowWise);
-    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| {
-        panic!("no op should produce a row")
-    });
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, _, _| {
+            panic!("no op should produce a row")
+        })
+        .expect("empty workload is valid");
     assert_eq!(run.end, SimTime::ZERO);
     assert_eq!(run.rows, 0);
     assert_eq!(run.streams.len(), 4);
@@ -59,10 +61,12 @@ fn cores_with_empty_streams_stay_idle_while_others_work() {
         })]),
     ]);
     sys.begin_measurement(AccessPath::DirectRowWise);
-    let run = sys.run_workload(&workload, SimTime::ZERO, |core, _, _, _| {
-        assert_eq!(core, 2, "only core 2 has work");
-        RowEffect::default()
-    });
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |core, _, _, _| {
+            assert_eq!(core, 2, "only core 2 has work");
+            RowEffect::default()
+        })
+        .expect("valid workload");
     assert_eq!(run.rows, rows);
     assert_eq!(run.streams.len(), 3);
     assert_eq!(run.streams[2].ops[0].rows, rows);
@@ -75,12 +79,24 @@ fn cores_with_empty_streams_stay_idle_while_others_work() {
 }
 
 #[test]
-#[should_panic(expected = "workload has 2 streams but the system only has 1 cores")]
 fn more_streams_than_cores_is_rejected() {
     let (mut sys, _table) = build(1, 10, MvccConfig::Disabled);
     let workload = Workload::new(vec![QueryStream::empty(), QueryStream::empty()]);
     sys.begin_measurement(AccessPath::DirectRowWise);
-    sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+    let err = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        WorkloadError::TooManyStreams {
+            streams: 2,
+            cores: 1
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "workload has 2 streams but the system only has 1 cores"
+    );
 }
 
 #[test]
@@ -127,7 +143,9 @@ fn mvcc_snapshot_taken_mid_stream_governs_later_ops() {
         },
     ])]);
     sys.begin_measurement(AccessPath::DirectRowWise);
-    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+        .expect("valid workload");
     let ops = &run.streams[0].ops;
     assert_eq!(ops[2].rows, rows, "pre-delete snapshot sees every row");
     assert_eq!(ops[3].rows, 1, "row 7 is visible at ts 4");
@@ -154,10 +172,12 @@ fn point_updates_are_visible_to_later_readers() {
     ])]);
     sys.begin_measurement(AccessPath::DirectRowWise);
     let mut seen = Vec::new();
-    let run = sys.run_workload(&workload, SimTime::ZERO, |_, op, _, values| {
-        seen.push((op, values[0]));
-        RowEffect::default()
-    });
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, op, _, values| {
+            seen.push((op, values[0]));
+            RowEffect::default()
+        })
+        .expect("valid workload");
     assert_eq!(seen, vec![(0, 0xAB), (1, 0xAB)]);
     assert_eq!(run.streams[0].ops[0].kind, OpKind::PointUpdate);
     assert!(run.streams[0].ops[1].latency() > SimTime::ZERO);
@@ -197,12 +217,14 @@ fn workload_runs_are_deterministic() {
         ]);
         sys.begin_measurement(AccessPath::DirectRowWise);
         let mut checksum = 0u64;
-        let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, values| {
-            checksum = checksum
-                .wrapping_mul(31)
-                .wrapping_add(values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
-            RowEffect::default()
-        });
+        let run = sys
+            .run_workload(&workload, SimTime::ZERO, |_, _, _, values| {
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+                RowEffect::default()
+            })
+            .expect("valid workload");
         let latencies: Vec<SimTime> = run.streams[0].ops.iter().map(|o| o.latency()).collect();
         (run.end, run.cpu, checksum, latencies)
     };
@@ -226,7 +248,9 @@ fn concurrent_streams_contend_on_the_shared_l2() {
         QueryStream::new(vec![WorkloadOp::olap(src)]),
     ]);
     sys.begin_measurement(AccessPath::DirectRowWise);
-    let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+        .expect("valid workload");
     assert_eq!(run.rows, 2 * rows);
     // Both streams see shared-L2 contention, and the per-core L2 shares
     // attribute the traffic stream by stream.
@@ -255,7 +279,12 @@ fn rme_scans_disturb_oltp_tail_latency_less_than_direct_scans() {
     // (is_update, row) pairs, generated deterministically.
     let oltp_stream = |table: &RowTable| -> Vec<(bool, u64)> {
         (0..oltp_ops as u64)
-            .map(|i| ((i % 5 == 4), (i.wrapping_mul(2654435761)) % table.num_rows()))
+            .map(|i| {
+                (
+                    (i % 5 == 4),
+                    (i.wrapping_mul(2654435761)) % table.num_rows(),
+                )
+            })
             .collect()
     };
 
@@ -283,7 +312,9 @@ fn rme_scans_disturb_oltp_tail_latency_less_than_direct_scans() {
             .collect();
         let workload = Workload::new(vec![QueryStream::new(ops)]);
         sys.begin_measurement(AccessPath::DirectRowWise);
-        let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+        let run = sys
+            .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+            .expect("valid workload");
         run.oltp_latencies().p99()
     };
 
@@ -333,7 +364,9 @@ fn rme_scans_disturb_oltp_tail_latency_less_than_direct_scans() {
         } else {
             AccessPath::DirectRowWise
         });
-        let run = sys.run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default());
+        let run = sys
+            .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+            .expect("valid workload");
         assert_eq!(run.olap_rows(), 3 * rows);
         run.oltp_latencies().p99()
     };
@@ -349,4 +382,383 @@ fn rme_scans_disturb_oltp_tail_latency_less_than_direct_scans() {
          baseline {baseline_p99}, direct {direct} ({direct_deg:.2}x), \
          RME {rme} ({rme_deg:.2}x)"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Invalid workloads are rejected with typed errors before any work runs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn invalid_closed_loop_ops_are_rejected_before_any_work_runs() {
+    let (mut sys, table) = build(1, 100, MvccConfig::Disabled);
+    let rows = table.num_rows();
+    let cols = [0usize];
+    let bad_cols = [7usize];
+    let mut run = |ops: Vec<WorkloadOp>| {
+        sys.run_workload(
+            &Workload::new(vec![QueryStream::new(ops)]),
+            SimTime::ZERO,
+            |_, _, _, _| panic!("rejected workloads must not execute"),
+        )
+        .unwrap_err()
+    };
+    assert_eq!(
+        run(vec![WorkloadOp::PointLookup {
+            table: &table,
+            columns: &cols,
+            row: rows,
+        }]),
+        WorkloadError::RowOutOfRange {
+            stream: 0,
+            op: 0,
+            row: rows,
+            rows,
+        }
+    );
+    // Schema::benchmark(4, 4, 64) has 4 UInt columns plus one Bytes fill
+    // column: 5 in total, and only the first 4 are updatable.
+    assert_eq!(
+        run(vec![WorkloadOp::olap(ScanSource::Rows {
+            table: &table,
+            columns: &bad_cols,
+            snapshot: None,
+        })]),
+        WorkloadError::ColumnOutOfRange {
+            stream: 0,
+            op: 0,
+            column: 7,
+            columns: 5,
+        }
+    );
+    assert_eq!(
+        run(vec![WorkloadOp::PointUpdate {
+            table: &table,
+            row: 0,
+            column: 4,
+            value: 1,
+        }]),
+        WorkloadError::NonUIntUpdate {
+            stream: 0,
+            op: 0,
+            column: 4,
+        }
+    );
+    assert_eq!(
+        run(vec![WorkloadOp::PointDelete {
+            table: &table,
+            row: 0,
+            ts: 1,
+        }]),
+        WorkloadError::MvccRequired { stream: 0, op: 0 }
+    );
+    // The error comes from the offending op, not the first one.
+    assert_eq!(
+        run(vec![
+            WorkloadOp::PointLookup {
+                table: &table,
+                columns: &cols,
+                row: 0,
+            },
+            WorkloadOp::PointLookup {
+                table: &table,
+                columns: &cols,
+                row: rows + 5,
+            },
+        ]),
+        WorkloadError::RowOutOfRange {
+            stream: 0,
+            op: 1,
+            row: rows + 5,
+            rows,
+        }
+    );
+}
+
+#[test]
+fn invalid_open_loop_config_is_rejected() {
+    let (mut sys, table) = build(1, 100, MvccConfig::Disabled);
+    let cols = [0usize];
+    let lookup = OpenLoopOp::new(WorkloadOp::PointLookup {
+        table: &table,
+        columns: &cols,
+        row: 0,
+    });
+    let mut run = |wl: &OpenLoopWorkload, cfg: &AdmissionConfig| {
+        sys.run_open_loop(wl, cfg, SimTime::ZERO, |_, _, _, _| {
+            panic!("rejected workloads must not execute")
+        })
+        .unwrap_err()
+    };
+    let cfg = AdmissionConfig::default();
+    assert_eq!(
+        run(
+            &OpenLoopWorkload::new(vec![
+                OpenLoopStream::new(vec![lookup], 100.0, 1),
+                OpenLoopStream::new(vec![lookup], 100.0, 1),
+            ]),
+            &cfg,
+        ),
+        WorkloadError::TooManyStreams {
+            streams: 2,
+            cores: 1
+        }
+    );
+    for bad_rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        assert_eq!(
+            run(
+                &OpenLoopWorkload::new(vec![OpenLoopStream::new(vec![lookup], bad_rate, 1)]),
+                &cfg,
+            ),
+            WorkloadError::InvalidArrivalRate { stream: 0 }
+        );
+    }
+    assert_eq!(
+        run(
+            &OpenLoopWorkload::new(vec![OpenLoopStream::new(Vec::new(), 100.0, 1)]),
+            &cfg,
+        ),
+        WorkloadError::EmptyTemplate { stream: 0 }
+    );
+    let valid = OpenLoopWorkload::new(vec![OpenLoopStream::new(vec![lookup], 100.0, 1)]);
+    assert_eq!(
+        run(
+            &valid,
+            &AdmissionConfig {
+                queue_capacity: 0,
+                ..cfg
+            },
+        ),
+        WorkloadError::ZeroQueueCapacity
+    );
+    assert_eq!(
+        run(
+            &valid,
+            &AdmissionConfig {
+                degrade: Some(DegradePolicy {
+                    high_watermark: 2,
+                    low_watermark: 5,
+                    trigger_after: 1,
+                    clear_after: 1,
+                }),
+                ..cfg
+            },
+        ),
+        WorkloadError::InvalidWatermarks { high: 2, low: 5 }
+    );
+    // Validation covers the degraded alternative, not just the normal op.
+    let rows = table.num_rows();
+    assert_eq!(
+        run(
+            &OpenLoopWorkload::new(vec![OpenLoopStream::new(
+                vec![OpenLoopOp::with_degraded(
+                    lookup.op,
+                    WorkloadOp::PointLookup {
+                        table: &table,
+                        columns: &cols,
+                        row: rows,
+                    },
+                )],
+                100.0,
+                1,
+            )]),
+            &cfg,
+        ),
+        WorkloadError::RowOutOfRange {
+            stream: 0,
+            op: 0,
+            row: rows,
+            rows,
+        }
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop traffic: admission control, shedding, timeout/retry and
+// graceful degradation under overload.
+// ---------------------------------------------------------------------------
+
+/// Runs the open-loop HTAP mix with OLTP arrivals at `factor` times the
+/// calibrated contended closed-loop service rate. Mirrors the harness's
+/// `fig_htap_openloop` scenario: point queries on core 0, quasi-continuous
+/// direct scans with RME degraded alternatives on cores 1–3. Returns the
+/// run and the configured queueing-delay budget.
+fn open_loop_htap_at(factor: f64) -> (OpenLoopRun, SimTime) {
+    let rows: u64 = 10_000;
+    let scan_columns = [0usize];
+    const OLTP_COLUMNS: [usize; 2] = [1, 2];
+    fn oltp_op(table: &RowTable, i: u64) -> WorkloadOp<'_> {
+        let row = i.wrapping_mul(2654435761) % table.num_rows();
+        if i % 5 == 4 {
+            WorkloadOp::PointUpdate {
+                table,
+                row,
+                column: 1,
+                value: i,
+            }
+        } else {
+            WorkloadOp::PointLookup {
+                table,
+                columns: &OLTP_COLUMNS,
+                row,
+            }
+        }
+    }
+
+    // Calibrate from a contended closed-loop run: mean OLTP service time
+    // (whose inverse is the 1.0x arrival rate) and one full scan's length.
+    let (mean_ns, scan_dur) = {
+        let (mut sys, table) = build(4, rows, MvccConfig::Disabled);
+        let src = ScanSource::Rows {
+            table: &table,
+            columns: &scan_columns,
+            snapshot: None,
+        };
+        let ops: Vec<WorkloadOp> = (0..400).map(|i| oltp_op(&table, i)).collect();
+        let workload = Workload::new(vec![
+            QueryStream::new(ops),
+            QueryStream::new(vec![WorkloadOp::olap(src)]),
+            QueryStream::new(vec![WorkloadOp::olap(src)]),
+            QueryStream::new(vec![WorkloadOp::olap(src)]),
+        ]);
+        sys.begin_measurement(AccessPath::DirectRowWise);
+        let run = sys
+            .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+            .expect("valid workload");
+        (
+            run.oltp_latencies().mean_nanos().max(1.0),
+            run.streams[1].ops[0].latency().max(SimTime::from_nanos(1)),
+        )
+    };
+
+    let (mut sys, table) = build(4, rows, MvccConfig::Disabled);
+    let var = sys
+        .register_ephemeral(&table, ColumnGroup::new(vec![0]).unwrap(), None)
+        .unwrap();
+    let oltp_template: Vec<OpenLoopOp> =
+        (0..100).map(|i| OpenLoopOp::new(oltp_op(&table, i))).collect();
+    let scan_template = vec![OpenLoopOp::with_degraded(
+        WorkloadOp::olap(ScanSource::Rows {
+            table: &table,
+            columns: &scan_columns,
+            snapshot: None,
+        }),
+        WorkloadOp::olap(ScanSource::Ephemeral { var: &var }),
+    )];
+    let mut streams = vec![OpenLoopStream::new(
+        oltp_template,
+        1e9 / mean_ns * factor,
+        400,
+    )];
+    for _ in 1..4 {
+        streams.push(OpenLoopStream::new(
+            scan_template.clone(),
+            1e9 / (1.5 * scan_dur.as_nanos_f64()),
+            6,
+        ));
+    }
+    let budget = scan_dur.scaled(8);
+    let cfg = AdmissionConfig {
+        seed: 42,
+        queue_capacity: 32,
+        delay_budget: Some(budget),
+        timeout: Some(scan_dur.scaled(16)),
+        max_retries: 2,
+        retry_backoff: SimTime::from_nanos(mean_ns as u64 + 1),
+        degrade: Some(DegradePolicy {
+            high_watermark: 24,
+            low_watermark: 4,
+            trigger_after: 8,
+            clear_after: 16,
+        }),
+    };
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys
+        .run_open_loop(
+            &OpenLoopWorkload::new(streams),
+            &cfg,
+            SimTime::ZERO,
+            |_, _, _, _| RowEffect::default(),
+        )
+        .expect("valid open-loop workload");
+    (run, budget)
+}
+
+fn assert_conservation(o: &relmem_sim::OverloadStats) {
+    assert_eq!(
+        o.arrivals + o.retries,
+        o.admitted + o.shed_queue_full,
+        "every presented attempt is either admitted or rejected"
+    );
+    assert_eq!(
+        o.admitted,
+        o.completed + o.shed_deadline + o.timed_out,
+        "every admitted attempt completes, sheds on deadline or times out"
+    );
+}
+
+/// The PR's robustness gate: well below the saturation knee the admission
+/// machinery is invisible (nothing shed, nothing timed out, no mode
+/// switches); past the knee the bounded queue sheds, sustained pressure
+/// downgrades the concurrent scans to the RME path, and the ops that *are*
+/// admitted keep a tail within the configured queueing-delay budget.
+#[test]
+fn open_loop_saturation_knee_sheds_and_degrades_gracefully() {
+    let (calm, _) = open_loop_htap_at(0.2);
+    let o = &calm.overload;
+    assert_eq!(o.shed(), 0, "no sheds well below the knee: {o:?}");
+    assert_eq!(o.timed_out, 0, "no timeouts well below the knee");
+    assert_eq!(o.retries, 0, "nothing to retry below the knee");
+    assert!(
+        o.transitions.is_empty(),
+        "no degradation below the knee: {:?}",
+        o.transitions
+    );
+    assert_conservation(o);
+
+    let (hot, budget) = open_loop_htap_at(4.0);
+    let o = &hot.overload;
+    assert!(
+        o.shed_queue_full > 0,
+        "the bounded queue must reject past the knee: {o:?}"
+    );
+    assert!(
+        o.degraded_ops > 0,
+        "sustained pressure must downgrade scans to the RME path: {o:?}"
+    );
+    assert!(
+        !o.transitions.is_empty() && o.transitions[0].degraded,
+        "the first recorded transition enters degraded mode: {:?}",
+        o.transitions
+    );
+    assert_conservation(o);
+
+    // Graceful degradation: load shedding keeps the admitted ops' queueing
+    // delay inside the budget by construction, and the admitted OLTP tail
+    // stays within that budget end to end.
+    let mut queue = hot.queue_delays();
+    assert!(
+        queue.max() <= budget,
+        "started ops never waited past the budget: {} > {budget}",
+        queue.max()
+    );
+    let mut lat = hot.oltp_latencies();
+    assert!(
+        lat.p99() <= budget,
+        "admitted OLTP p99 {} must stay within the {budget} budget",
+        lat.p99()
+    );
+}
+
+/// Identical seeds and configuration replay bit-identically: the overload
+/// accounting, every latency sample and the drain time all match.
+#[test]
+fn open_loop_runs_are_deterministic() {
+    let (a, _) = open_loop_htap_at(4.0);
+    let (b, _) = open_loop_htap_at(4.0);
+    assert_eq!(a.overload, b.overload);
+    assert_eq!(a.end, b.end);
+    assert_eq!(a.cpu, b.cpu);
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.latencies().samples(), b.latencies().samples());
+    assert_eq!(a.queue_delays().samples(), b.queue_delays().samples());
 }
