@@ -11,6 +11,7 @@ mod fig13;
 mod fig13_multicore;
 mod fig_dram_fidelity;
 mod fig_htap;
+mod fig_txn;
 mod tables;
 
 pub use fig06::fig06;
@@ -24,6 +25,7 @@ pub use fig13::fig13;
 pub use fig13_multicore::fig13_multicore;
 pub use fig_dram_fidelity::fig_dram_fidelity;
 pub use fig_htap::{fig_htap, fig_htap_open_loop};
+pub use fig_txn::fig_txn;
 pub use tables::{table1, table2};
 
 use relmem_sim::report::Table;
@@ -67,8 +69,8 @@ impl Experiment {
 pub fn all_experiments() -> Vec<&'static str> {
     vec![
         "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig13_multicore", "fig_htap", "fig_htap_openloop", "fig_dram_fidelity", "table1",
-        "table2",
+        "fig13_multicore", "fig_htap", "fig_htap_openloop", "fig_txn", "fig_dram_fidelity",
+        "table1", "table2",
     ]
 }
 
@@ -88,6 +90,7 @@ pub fn experiment_by_id(id: &str, quick: bool, full: bool) -> Option<Experiment>
         "fig13_multicore" => Some(fig13_multicore(quick)),
         "fig_htap" => Some(fig_htap(quick)),
         "fig_htap_openloop" => Some(fig_htap_open_loop(quick)),
+        "fig_txn" => Some(fig_txn(quick)),
         "fig_dram_fidelity" => Some(fig_dram_fidelity(quick)),
         "table1" => Some(table1()),
         "table2" => Some(table2()),

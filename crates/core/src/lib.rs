@@ -30,6 +30,7 @@ pub mod openloop;
 pub mod queries;
 mod stepper;
 pub mod system;
+pub mod txn;
 pub mod workload;
 
 pub use access_path::AccessPath;
@@ -43,6 +44,7 @@ pub use openloop::{
 };
 pub use queries::Query;
 pub use system::{CoreScan, ShardedScan, System, SystemConfig};
+pub use txn::{TxnAbort, TxnOp, TxnSpec, TXN_TS_BASE};
 pub use workload::{
     OpKind, OpOutcome, QueryStream, StreamReport, Workload, WorkloadError, WorkloadOp, WorkloadRun,
 };

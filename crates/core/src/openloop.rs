@@ -62,9 +62,10 @@ use std::collections::VecDeque;
 
 use rand::{rngs::StdRng, RngCore, SeedableRng};
 use relmem_cache::HierarchyStats;
-use relmem_sim::{DegradeTransition, LatencyProfile, OverloadStats, SimTime};
+use relmem_sim::{DegradeTransition, LatencyProfile, OverloadStats, SimTime, TxnStats};
 
 use crate::system::{RowEffect, System};
+use crate::txn::TxnAbort;
 use crate::workload::{OpKind, StreamState, WorkloadError, WorkloadOp};
 
 /// A deterministic pseudo-Poisson arrival process.
@@ -299,6 +300,14 @@ pub struct OpenLoopRun {
     pub streams: Vec<OpenLoopStreamReport>,
     /// Admission-control accounting for the whole run.
     pub overload: OverloadStats,
+    /// Transaction accounting for the run (all zero without
+    /// [`WorkloadOp::Txn`] templates). Submissions dropped before
+    /// execution — queue-full, deadline shed, final timeout — count as
+    /// `begun` *and* `aborted_shed`, keeping the identity
+    /// `begun == committed + aborted_conflict + aborted_shed`.
+    pub txn: TxnStats,
+    /// Every transaction abort that reached execution, in abort order.
+    pub txn_aborts: Vec<TxnAbort>,
 }
 
 impl OpenLoopRun {
@@ -433,7 +442,7 @@ impl CoreState<'_, '_> {
     /// The core's scheduling key: its clock while it has work, its next
     /// arrival while idle, `None` once fully drained.
     fn ready_at(&self) -> Option<SimTime> {
-        if self.st.active.is_some() || !self.queue.is_empty() {
+        if self.st.active.is_some() || self.st.active_txn.is_some() || !self.queue.is_empty() {
             Some(self.st.now)
         } else {
             self.next_event_time().map(|t| self.st.now.max(t))
@@ -509,6 +518,7 @@ impl System {
             }
         }
 
+        self.txn_rt.reset(true);
         let mut states: Vec<CoreState<'_, '_>> = workload
             .streams
             .iter()
@@ -597,12 +607,19 @@ impl System {
                 cache: *self.cores[core].stats(),
             });
         }
+        debug_assert!(
+            self.txn_rt.stats.is_consistent(),
+            "txn accounting identity violated: {:?}",
+            self.txn_rt.stats
+        );
         Ok(OpenLoopRun {
             end,
             cpu,
             rows,
             streams,
             overload: stats,
+            txn: self.txn_rt.stats.clone(),
+            txn_aborts: std::mem::take(&mut self.txn_rt.aborts),
         })
     }
 
@@ -624,17 +641,26 @@ impl System {
         F: FnMut(usize, usize, u64, &[u64]) -> RowEffect,
     {
         // An idle core sleeps until its next arrival.
-        if cs.st.active.is_none() && cs.queue.is_empty() {
+        if cs.st.active.is_none() && cs.st.active_txn.is_none() && cs.queue.is_empty() {
             if let Some(t) = cs.next_event_time() {
                 cs.st.now = cs.st.now.max(t);
             }
         }
-        drain_admissions(cs, cfg, stats, degrade);
+        drain_admissions(cs, cfg, stats, degrade, &mut self.txn_rt.stats);
 
         // One row of the in-progress scan, if any.
         if self.step_scan_row(core, &mut cs.st, observer) {
             if cs.st.active.is_none() {
-                finish_op(cs, stats);
+                finish_op(cs, cfg, stats);
+            }
+            return;
+        }
+        // One unit of the in-progress transaction, if any. A conflict
+        // abort frees the queue slot immediately; `finish_op` reschedules
+        // it through the admission queue when retries remain.
+        if self.step_txn_unit(core, &mut cs.st, observer) {
+            if cs.st.active_txn.is_none() {
+                finish_op(cs, cfg, stats);
             }
             return;
         }
@@ -653,6 +679,11 @@ impl System {
                             arrival: p.arrival + timeout + backoff,
                             attempt: p.attempt + 1,
                         });
+                    } else {
+                        // The final attempt of a transaction template was
+                        // abandoned before it could begin: account it as
+                        // begun-and-shed so the txn identity holds.
+                        account_txn_drop(cs, p.template, &mut self.txn_rt.stats);
                     }
                     continue;
                 }
@@ -660,6 +691,7 @@ impl System {
             if let Some(budget) = cfg.delay_budget {
                 if waited > budget {
                     stats.shed_deadline += 1;
+                    account_txn_drop(cs, p.template, &mut self.txn_rt.stats);
                     degrade.observe(cs.st.now, true, cs.queue.len(), stats);
                     continue;
                 }
@@ -679,12 +711,24 @@ impl System {
                 degraded,
             });
             self.start_op(core, &mut cs.st, p.template, op, observer);
-            if cs.st.active.is_none() {
+            if cs.st.active.is_none() && cs.st.active_txn.is_none() {
                 // Point ops, snapshots and empty scans complete in-call.
-                finish_op(cs, stats);
+                finish_op(cs, cfg, stats);
             }
             return;
         }
+    }
+}
+
+/// Accounts an open-loop transaction submission dropped before execution
+/// (queue-full rejection, deadline shed, or final timeout): it counts as
+/// begun *and* shed so `begun == committed + aborted_conflict +
+/// aborted_shed` holds for the run. Non-transaction templates are
+/// untouched.
+fn account_txn_drop(cs: &CoreState<'_, '_>, template: usize, txn: &mut TxnStats) {
+    if matches!(cs.template[template].op, WorkloadOp::Txn { .. }) {
+        txn.begun += 1;
+        txn.aborted_shed += 1;
     }
 }
 
@@ -695,6 +739,7 @@ fn drain_admissions(
     cfg: &AdmissionConfig,
     stats: &mut OverloadStats,
     degrade: &mut DegradeState,
+    txn: &mut TxnStats,
 ) {
     loop {
         let first = (cs.remaining > 0).then_some(cs.next_arrival);
@@ -732,6 +777,7 @@ fn drain_admissions(
         };
         if cs.queue.len() >= cfg.queue_capacity {
             stats.shed_queue_full += 1;
+            account_txn_drop(cs, p.template, txn);
             degrade.observe(at, true, cs.queue.len(), stats);
         } else {
             cs.queue.push_back(p);
@@ -744,7 +790,13 @@ fn drain_admissions(
 
 /// Converts the just-pushed closed-loop [`OpOutcome`](crate::OpOutcome)
 /// into an [`OpenLoopOutcome`] for the in-flight submission.
-fn finish_op(cs: &mut CoreState<'_, '_>, stats: &mut OverloadStats) {
+///
+/// A conflict-aborted transaction counts as *completed* service (the
+/// attempt occupied the core and its outcome is recorded) but, attempts
+/// permitting, its submission is rescheduled through the admission queue
+/// with the same exponential backoff as client timeouts — re-entering as
+/// a retry, so the overload identities keep holding.
+fn finish_op(cs: &mut CoreState<'_, '_>, cfg: &AdmissionConfig, stats: &mut OverloadStats) {
     let inflight = cs.inflight.take().expect("an op was in flight");
     let out = cs.st.outcomes.pop().expect("the op pushed its outcome");
     stats.completed += 1;
@@ -758,6 +810,16 @@ fn finish_op(cs: &mut CoreState<'_, '_>, stats: &mut OverloadStats) {
         attempt: inflight.pending.attempt,
         degraded: inflight.degraded,
     });
+    if out.kind == OpKind::TxnAbortConflict && inflight.pending.attempt < cfg.max_retries {
+        let backoff = cfg
+            .retry_backoff
+            .scaled(1u64 << inflight.pending.attempt.min(20));
+        cs.schedule_retry(Pending {
+            template: inflight.pending.template,
+            arrival: cs.st.now + backoff,
+            attempt: inflight.pending.attempt + 1,
+        });
+    }
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@ use crate::cost::CpuCostModel;
 use crate::ephemeral::EphemeralVariable;
 use crate::measure::QueryMeasurement;
 use crate::stepper::ScanJob;
+use crate::txn::TxnRuntime;
 
 /// Base of the (never materialised) ephemeral address region. It is far
 /// above any physical allocation so aliases can never collide with real
@@ -170,6 +171,10 @@ pub struct System {
     /// The L2 every core shares (banked; contended when `cores.len() > 1`).
     pub(crate) l2: SharedL2,
     pub(crate) engine: RmeEngine,
+    /// Run-scoped transaction machinery (intent table, id/commit-ts
+    /// allocators, [`TxnStats`](relmem_sim::TxnStats)); reset by
+    /// `run_workload` / `run_open_loop`.
+    pub(crate) txn_rt: TxnRuntime,
     ephemeral_cursor: u64,
 }
 
@@ -216,6 +221,7 @@ impl System {
             engine,
             cost: CpuCostModel::default(),
             cfg,
+            txn_rt: TxnRuntime::default(),
             ephemeral_cursor: EPHEMERAL_REGION_BASE,
         }
     }

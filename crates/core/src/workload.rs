@@ -78,11 +78,12 @@
 use std::fmt;
 
 use relmem_cache::HierarchyStats;
-use relmem_sim::{LatencyProfile, SimTime};
+use relmem_sim::{LatencyProfile, SimTime, TxnStats};
 use relmem_storage::{ColumnType, RowTable, Snapshot, Timestamp, Value};
 
 use crate::stepper::ScanJob;
 use crate::system::{DramBackend, RowEffect, ScanSource, System};
+use crate::txn::{ActiveTxn, TxnAbort, TxnOp, TxnSpec};
 
 /// A workload (or open-loop traffic) configuration the system cannot run.
 ///
@@ -148,6 +149,15 @@ pub enum WorkloadError {
         /// The offending stream.
         stream: usize,
     },
+    /// A [`TxnOp::Insert`] carries a value that does not fit its column.
+    InsertValueOverflow {
+        /// Stream holding the op.
+        stream: usize,
+        /// Op index within the stream.
+        op: usize,
+        /// The overflowed column index.
+        column: usize,
+    },
     /// The admission queue capacity is zero (nothing could ever be
     /// admitted).
     ZeroQueueCapacity,
@@ -192,6 +202,10 @@ impl fmt::Display for WorkloadError {
             WorkloadError::MvccRequired { stream, op } => write!(
                 f,
                 "stream {stream} op {op} deletes from a table without MVCC headers"
+            ),
+            WorkloadError::InsertValueOverflow { stream, op, column } => write!(
+                f,
+                "stream {stream} op {op} inserts a value that overflows column {column}"
             ),
             WorkloadError::InvalidArrivalRate { stream } => write!(
                 f,
@@ -271,6 +285,13 @@ pub enum WorkloadOp<'a> {
         /// Read timestamp of the snapshot.
         ts: Timestamp,
     },
+    /// A multi-row transaction: reads execute immediately, write intents
+    /// buffer and apply atomically at commit under first-updater-wins
+    /// conflict detection. See the [`txn`](crate::txn) module.
+    Txn {
+        /// The transaction template.
+        spec: &'a TxnSpec<'a>,
+    },
 }
 
 impl<'a> WorkloadOp<'a> {
@@ -290,6 +311,7 @@ impl<'a> WorkloadOp<'a> {
             WorkloadOp::PointUpdate { .. } => OpKind::PointUpdate,
             WorkloadOp::PointDelete { .. } => OpKind::PointDelete,
             WorkloadOp::TakeSnapshot { .. } => OpKind::TakeSnapshot,
+            WorkloadOp::Txn { .. } => OpKind::TxnCommit,
         }
     }
 
@@ -360,6 +382,69 @@ impl<'a> WorkloadOp<'a> {
                 }
             }
             WorkloadOp::TakeSnapshot { .. } => Ok(()),
+            WorkloadOp::Txn { spec } => {
+                for top in &spec.ops {
+                    match *top {
+                        TxnOp::Read {
+                            table,
+                            columns,
+                            row,
+                        } => {
+                            check_row(table, row)?;
+                            check_columns(table.schema().num_columns(), columns)?;
+                        }
+                        TxnOp::Update {
+                            table, row, column, ..
+                        } => {
+                            check_row(table, row)?;
+                            check_columns(table.schema().num_columns(), &[column])?;
+                            match table.schema().column(column) {
+                                Ok(def) if matches!(def.ty, ColumnType::UInt(_)) => {}
+                                _ => {
+                                    return Err(WorkloadError::NonUIntUpdate { stream, op, column })
+                                }
+                            }
+                        }
+                        TxnOp::Delete { table, row } => {
+                            check_row(table, row)?;
+                            if !table.mvcc().is_enabled() {
+                                return Err(WorkloadError::MvccRequired { stream, op });
+                            }
+                        }
+                        TxnOp::Insert {
+                            table,
+                            columnar,
+                            values,
+                        } => {
+                            let columns = table.schema().num_columns();
+                            if values.len() != columns
+                                || columnar
+                                    .is_some_and(|ct| ct.schema().num_columns() != values.len())
+                            {
+                                return Err(WorkloadError::ColumnOutOfRange {
+                                    stream,
+                                    op,
+                                    column: values.len(),
+                                    columns,
+                                });
+                            }
+                            for (column, &value) in values.iter().enumerate() {
+                                let Ok(def) = table.schema().column(column) else {
+                                    continue;
+                                };
+                                if !Value::UInt(value).compatible_with(def.ty) {
+                                    return Err(WorkloadError::InsertValueOverflow {
+                                        stream,
+                                        op,
+                                        column,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -409,14 +494,24 @@ pub enum OpKind {
     PointDelete,
     /// Snapshot acquisition (zero-time).
     TakeSnapshot,
+    /// A multi-row transaction that committed.
+    TxnCommit,
+    /// A transaction that aborted on a write-write conflict
+    /// (first-updater-wins).
+    TxnAbortConflict,
+    /// A transaction shed at commit (insert capacity exhausted) or — in
+    /// open-loop accounting — dropped before execution.
+    TxnAbortShed,
 }
 
 impl OpKind {
-    /// Whether the op counts as OLTP for latency reporting.
+    /// Whether the op counts as OLTP for latency reporting. Aborted
+    /// transactions are excluded — they never delivered a result, so
+    /// their (shorter) latency would flatter the tail.
     pub fn is_oltp(&self) -> bool {
         matches!(
             self,
-            OpKind::PointLookup | OpKind::PointUpdate | OpKind::PointDelete
+            OpKind::PointLookup | OpKind::PointUpdate | OpKind::PointDelete | OpKind::TxnCommit
         )
     }
 }
@@ -473,6 +568,13 @@ pub struct WorkloadRun {
     pub rows: u64,
     /// Per-stream results, indexed by core.
     pub streams: Vec<StreamReport>,
+    /// Transaction accounting for the run (all zero when the workload
+    /// holds no [`WorkloadOp::Txn`] ops). Satisfies
+    /// `begun == committed + aborted_conflict + aborted_shed`.
+    pub txn: TxnStats,
+    /// Every transaction abort of the run, in abort order — deterministic
+    /// for a given workload and platform.
+    pub txn_aborts: Vec<TxnAbort>,
 }
 
 impl WorkloadRun {
@@ -519,6 +621,9 @@ pub(crate) struct StreamState<'a, 'w> {
     /// open-loop driver leaves this at 0 and feeds ops explicitly.
     pub(crate) next_op: usize,
     pub(crate) active: Option<ActiveScan<'a>>,
+    /// The stream's in-progress transaction, if any (a stream runs at
+    /// most one at a time; scans and transactions never overlap).
+    pub(crate) active_txn: Option<ActiveTxn<'a>>,
     pub(crate) now: SimTime,
     pub(crate) cpu: SimTime,
     pub(crate) rows: u64,
@@ -534,6 +639,7 @@ impl<'a, 'w> StreamState<'a, 'w> {
             ops,
             next_op: 0,
             active: None,
+            active_txn: None,
             now: start,
             cpu: SimTime::ZERO,
             rows: 0,
@@ -544,7 +650,7 @@ impl<'a, 'w> StreamState<'a, 'w> {
     }
 
     fn finished(&self) -> bool {
-        self.active.is_none() && self.next_op >= self.ops.len()
+        self.active.is_none() && self.active_txn.is_none() && self.next_op >= self.ops.len()
     }
 
     /// Whether the stream's next unit is a row of an ephemeral (RME) scan.
@@ -619,6 +725,7 @@ impl System {
                 op.validate(i, j)?;
             }
         }
+        self.txn_rt.reset(false);
         let mut states: Vec<StreamState<'_, '_>> = workload
             .streams
             .iter()
@@ -674,11 +781,18 @@ impl System {
                 cache: *self.cores[core].stats(),
             });
         }
+        debug_assert!(
+            self.txn_rt.stats.is_consistent(),
+            "txn accounting identity violated: {:?}",
+            self.txn_rt.stats
+        );
         Ok(WorkloadRun {
             end,
             cpu,
             rows,
             streams,
+            txn: self.txn_rt.stats.clone(),
+            txn_aborts: std::mem::take(&mut self.txn_rt.aborts),
         })
     }
 
@@ -691,6 +805,10 @@ impl System {
     {
         // One row of the in-progress scan, if any.
         if self.step_scan_row(core, st, observer) {
+            return;
+        }
+        // One unit of the in-progress transaction, if any.
+        if self.step_txn_unit(core, st, observer) {
             return;
         }
 
@@ -825,13 +943,19 @@ impl System {
                     rows: 0,
                 });
             }
+            WorkloadOp::Txn { spec } => {
+                // Zero-time begin; subsequent units execute the ops and
+                // the commit (see `step_txn_unit`).
+                self.begin_txn(st, op_idx, spec);
+            }
         }
     }
 
     /// A point read: optional MVCC visibility check under the stream's
-    /// snapshot, then one cache access per projected field.
+    /// snapshot, then one cache access per projected field. Shared with
+    /// the transaction layer ([`TxnOp::Read`] is this exact body).
     #[allow(clippy::too_many_arguments)] // private scheduler helper
-    fn point_lookup<F>(
+    pub(crate) fn point_lookup<F>(
         &mut self,
         core: usize,
         st: &mut StreamState<'_, '_>,
@@ -899,9 +1023,10 @@ impl System {
 
     /// An in-place field update: one cache write (timing) plus the actual
     /// store into physical memory, so later readers — including the RME's
-    /// packing — see the new value.
+    /// packing — see the new value. Shared with the transaction layer
+    /// ([`TxnOp::Update`] intents apply this exact body at commit).
     #[allow(clippy::too_many_arguments)] // private scheduler helper
-    fn point_update<F>(
+    pub(crate) fn point_update<F>(
         &mut self,
         core: usize,
         st: &mut StreamState<'_, '_>,
@@ -958,8 +1083,10 @@ impl System {
     }
 
     /// A delete: one cache write of the 16-byte version header plus the
-    /// actual header store ending the version at `ts`.
-    fn point_delete(
+    /// actual header store ending the version at `ts`. Shared with the
+    /// transaction layer ([`TxnOp::Delete`] intents apply this body at
+    /// commit, with `ts` the commit timestamp).
+    pub(crate) fn point_delete(
         &mut self,
         core: usize,
         st: &mut StreamState<'_, '_>,

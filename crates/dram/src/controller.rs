@@ -30,7 +30,7 @@
 use relmem_sim::{DramConfig, MultiResource, Resource, SimTime};
 
 use crate::address::AddressMapping;
-use crate::request::{Completion, MemRequest, Requestor};
+use crate::request::{Completion, MemRequest, ReqKind, Requestor};
 
 /// Aggregate statistics kept by the controller.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -50,6 +50,11 @@ pub struct DramStats {
     pub per_core_accesses: Vec<u64>,
     /// Accesses issued by the RME's fetch units.
     pub rme_accesses: u64,
+    /// Write requests serviced (after row splitting, like
+    /// [`accesses`](Self::accesses)). The occupancy model's timing is
+    /// symmetric in the request kind, so this is attribution only; the
+    /// cycle-accurate model additionally charges tWR/tWTR to these.
+    pub writes: u64,
     /// Per-bank refresh windows applied (cycle-accurate model only: each
     /// bank is refreshed once per tREFI; a refresh closes the open row and
     /// stalls the bank for tRFC). Always zero under the occupancy model.
@@ -190,6 +195,9 @@ impl DramController {
             let (_, bus_end) = self.bus.acquire(data_ready, transfer);
 
             self.stats.accesses += 1;
+            if req.kind == ReqKind::Write {
+                self.stats.writes += 1;
+            }
             self.stats.beats += beats;
             self.stats.bytes_transferred += beats * self.cfg.bus_bytes as u64;
             match req.requestor {
@@ -366,6 +374,9 @@ mod tests {
         assert_eq!(c.stats().beats, 4);
         assert_eq!(c.stats().bytes_transferred, 64);
         assert!(c.stats().row_hit_rate() < 1.0);
+        assert_eq!(c.stats().writes, 0, "reads are not writes");
+        c.access(MemRequest::new(0, 64, SimTime::ZERO).as_write());
+        assert_eq!(c.stats().writes, 1, "write requests are attributed");
         c.reset();
         assert_eq!(c.stats(), &DramStats::default());
         assert_eq!(c.bus_free_at(), SimTime::ZERO);

@@ -327,6 +327,9 @@ impl CycleAccurateDram {
         }
 
         self.stats.accesses += 1;
+        if !read {
+            self.stats.writes += 1;
+        }
         if row_hit {
             self.stats.row_hits += 1;
         } else {
@@ -507,6 +510,7 @@ mod tests {
         let w = c.access(MemRequest::new(0, 64, SimTime::ZERO).as_write());
         let r = c.access(MemRequest::new(64, 64, SimTime::ZERO));
         assert!(r.row_hit);
+        assert_eq!(c.stats().writes, 1, "exactly the write is attributed");
         // The read command waits tWTR after the write burst ends.
         assert!(
             r.finish >= w.finish + d.t_wtr + d.t_cas,

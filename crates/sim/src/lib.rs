@@ -26,5 +26,5 @@ pub use config::{
     CacheLevelConfig, CdcConfig, CpuConfig, DramConfig, MemoryModel, PlatformConfig, RmeHwConfig,
 };
 pub use resource::{MultiResource, Resource};
-pub use stats::{Counter, DegradeTransition, LatencyProfile, MeanStd, OverloadStats};
+pub use stats::{Counter, DegradeTransition, LatencyProfile, MeanStd, OverloadStats, TxnStats};
 pub use time::SimTime;

@@ -190,6 +190,55 @@ impl OverloadStats {
     }
 }
 
+/// Transaction-layer counters of one workload or open-loop run.
+///
+/// Kept here (next to [`OverloadStats`]) so the closed-loop scheduler, the
+/// open-loop scheduler, the figure harness and the tests all share one
+/// definition. The counters satisfy the accounting identity
+///
+/// ```text
+/// begun == committed + aborted_conflict + aborted_shed
+/// ```
+///
+/// checked by [`is_consistent`](Self::is_consistent): every transaction
+/// attempt that begins either commits, aborts on a first-updater-wins
+/// write-write conflict, or is abandoned by the system (a commit that ran
+/// out of table capacity, or an open-loop template shed before service).
+/// A retried transaction counts as a fresh attempt in `begun`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Transaction attempts started (each retry counts again).
+    pub begun: u64,
+    /// Attempts that committed and published their write intents.
+    pub committed: u64,
+    /// Attempts aborted by first-updater-wins conflict detection.
+    pub aborted_conflict: u64,
+    /// Attempts abandoned by the system rather than by a data conflict:
+    /// commit-time capacity exhaustion, or open-loop admission shedding.
+    pub aborted_shed: u64,
+    /// Rows published by committed inserts (row + columnar appends each
+    /// count the rows they added).
+    pub rows_inserted: u64,
+}
+
+impl TxnStats {
+    /// `true` when the accounting identity
+    /// `begun == committed + aborted_conflict + aborted_shed` holds.
+    pub fn is_consistent(&self) -> bool {
+        self.begun == self.committed + self.aborted_conflict + self.aborted_shed
+    }
+
+    /// Fraction of attempts that aborted on a conflict (`0.0` when no
+    /// transaction began).
+    pub fn conflict_abort_rate(&self) -> f64 {
+        if self.begun == 0 {
+            0.0
+        } else {
+            self.aborted_conflict as f64 / self.begun as f64
+        }
+    }
+}
+
 /// A named monotonically increasing event counter.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counter {
@@ -428,6 +477,22 @@ mod tests {
             degraded: true,
         });
         assert_eq!(o.clone(), o, "OverloadStats compares structurally");
+    }
+
+    #[test]
+    fn txn_stats_accounting_identity() {
+        let mut t = TxnStats::default();
+        assert!(t.is_consistent());
+        assert_eq!(t.conflict_abort_rate(), 0.0);
+        t.begun = 10;
+        t.committed = 7;
+        t.aborted_conflict = 2;
+        t.aborted_shed = 1;
+        t.rows_inserted = 3;
+        assert!(t.is_consistent());
+        assert!((t.conflict_abort_rate() - 0.2).abs() < 1e-12);
+        t.committed = 8;
+        assert!(!t.is_consistent(), "a double-counted commit must be caught");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! exactly the comparison the paper makes (and exactly the copy the RME
 //! renders unnecessary).
 
+use std::cell::Cell;
+
 use relmem_dram::PhysicalMemory;
 
 use crate::error::StorageError;
@@ -20,7 +22,12 @@ pub struct ColumnarTable {
     schema: Schema,
     /// Base address of each column's array.
     column_bases: Vec<u64>,
-    rows: u64,
+    /// Rows each column array can hold (≥ `rows` when materialised with
+    /// headroom for appends).
+    capacity_rows: u64,
+    /// Populated row count. A `Cell` for the same reason as
+    /// [`RowTable`]'s: transactional inserts publish through shared refs.
+    rows: Cell<u64>,
 }
 
 impl ColumnarTable {
@@ -29,8 +36,20 @@ impl ColumnarTable {
         mem: &mut PhysicalMemory,
         table: &RowTable,
     ) -> Result<Self, StorageError> {
+        Self::materialize_with_capacity(mem, table, table.num_rows())
+    }
+
+    /// Materialises every column of `table`, sizing each array for
+    /// `capacity_rows` rows so the table can later grow via
+    /// [`append`](Self::append) (transactional inserts).
+    pub fn materialize_with_capacity(
+        mem: &mut PhysicalMemory,
+        table: &RowTable,
+        capacity_rows: u64,
+    ) -> Result<Self, StorageError> {
         let schema = table.schema().clone();
         let rows = table.num_rows();
+        let capacity_rows = capacity_rows.max(rows);
 
         // Gather the column bytes first (we cannot read and allocate from
         // `mem` at the same time without cloning rows anyway).
@@ -46,8 +65,9 @@ impl ColumnarTable {
         }
 
         let mut column_bases = Vec::with_capacity(schema.num_columns());
-        for data in &column_data {
-            let needed = data.len().max(1);
+        for (col, data) in column_data.iter().enumerate() {
+            let width = schema.width(col)?;
+            let needed = (width as u64 * capacity_rows).max(data.len() as u64).max(1) as usize;
             let available = mem.capacity() - mem.allocated() as usize;
             if needed > available {
                 return Err(StorageError::OutOfMemory {
@@ -63,8 +83,47 @@ impl ColumnarTable {
         Ok(ColumnarTable {
             schema,
             column_bases,
-            rows,
+            capacity_rows,
+            rows: Cell::new(rows),
         })
+    }
+
+    /// Appends one row's values (one per column, in schema order) into the
+    /// column arrays. Returns the new row's index.
+    pub fn append(
+        &self,
+        mem: &mut PhysicalMemory,
+        values: &[Value],
+    ) -> Result<u64, StorageError> {
+        if values.len() != self.schema.num_columns() {
+            return Err(StorageError::ColumnOutOfRange(values.len()));
+        }
+        let idx = self.rows.get();
+        if idx == self.capacity_rows {
+            return Err(StorageError::OutOfMemory {
+                requested: self.schema.row_bytes(),
+                available: 0,
+            });
+        }
+        for (col, value) in values.iter().enumerate() {
+            let def = self.schema.column(col)?;
+            if !value.compatible_with(def.ty) {
+                return Err(StorageError::TypeMismatch {
+                    column: def.name.clone(),
+                    expected: def.ty.name(),
+                });
+            }
+            let width = def.ty.width();
+            let addr = self.column_base(col)? + idx * width as u64;
+            mem.write(addr, &value.encode(width));
+        }
+        self.rows.set(idx + 1);
+        Ok(idx)
+    }
+
+    /// Rows each column array can hold.
+    pub fn capacity_rows(&self) -> u64 {
+        self.capacity_rows
     }
 
     /// The schema shared with the source row table.
@@ -74,7 +133,7 @@ impl ColumnarTable {
 
     /// Number of rows.
     pub fn num_rows(&self) -> u64 {
-        self.rows
+        self.rows.get()
     }
 
     /// Base address of a column's array.
@@ -87,10 +146,10 @@ impl ColumnarTable {
 
     /// Physical address of `row`'s entry in column `col`.
     pub fn field_addr(&self, row: u64, col: usize) -> Result<u64, StorageError> {
-        if row >= self.rows {
+        if row >= self.rows.get() {
             return Err(StorageError::RowOutOfRange {
                 row,
-                rows: self.rows,
+                rows: self.rows.get(),
             });
         }
         let width = self.schema.width(col)? as u64;
@@ -142,7 +201,7 @@ mod tests {
     fn column_arrays_are_dense() {
         let mut mem = PhysicalMemory::new(1 << 20);
         let schema = Schema::benchmark(2, 8, 64);
-        let mut table = RowTable::create(&mut mem, schema, 10, MvccConfig::Disabled).unwrap();
+        let table = RowTable::create(&mut mem, schema, 10, MvccConfig::Disabled).unwrap();
         for i in 0..10u64 {
             table
                 .append(&mut mem, &Row::from_u64s(&[i, i * 2, 0]), 0)
@@ -158,10 +217,39 @@ mod tests {
     }
 
     #[test]
+    fn append_grows_within_capacity() {
+        let mut mem = PhysicalMemory::new(1 << 20);
+        let schema = Schema::benchmark(2, 8, 64);
+        let table = RowTable::create(&mut mem, schema, 4, MvccConfig::Disabled).unwrap();
+        for i in 0..2u64 {
+            table.append(&mut mem, &Row::from_u64s(&[i, i, 0]), 0).unwrap();
+        }
+        let cols = ColumnarTable::materialize_with_capacity(&mut mem, &table, 4).unwrap();
+        assert_eq!(cols.num_rows(), 2);
+        assert_eq!(cols.capacity_rows(), 4);
+        let idx = cols
+            .append(&mut mem, &[Value::UInt(7), Value::UInt(9), Value::UInt(0)])
+            .unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(cols.read_field(&mem, 2, 1).unwrap(), Value::UInt(9));
+        // Existing data stays dense and intact.
+        assert_eq!(cols.read_field(&mem, 1, 0).unwrap(), Value::UInt(1));
+        cols.append(&mut mem, &[Value::UInt(0), Value::UInt(0), Value::UInt(0)])
+            .unwrap();
+        assert!(
+            cols.append(&mut mem, &[Value::UInt(0), Value::UInt(0), Value::UInt(0)])
+                .is_err(),
+            "append past capacity must fail"
+        );
+        // Arity and type are checked before any byte is written.
+        assert!(cols.append(&mut mem, &[Value::UInt(0)]).is_err());
+    }
+
+    #[test]
     fn bounds_checked() {
         let mut mem = PhysicalMemory::new(1 << 16);
         let schema = Schema::benchmark(1, 4, 4);
-        let mut table = RowTable::create(&mut mem, schema, 4, MvccConfig::Disabled).unwrap();
+        let table = RowTable::create(&mut mem, schema, 4, MvccConfig::Disabled).unwrap();
         table.append(&mut mem, &Row::from_u64s(&[1]), 0).unwrap();
         let cols = ColumnarTable::materialize(&mut mem, &table).unwrap();
         assert!(cols.field_addr(5, 0).is_err());

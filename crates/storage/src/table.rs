@@ -5,6 +5,8 @@
 //! enabled each row is preceded by a 16-byte version header (begin/end
 //! timestamps); the logical schema is unaffected.
 
+use std::cell::Cell;
+
 use relmem_dram::PhysicalMemory;
 
 use crate::error::StorageError;
@@ -20,7 +22,10 @@ pub struct RowTable {
     mvcc: MvccConfig,
     base: u64,
     capacity_rows: u64,
-    rows: u64,
+    /// Populated row count. A `Cell` because transactional inserts append
+    /// through the shared references the workload ops carry; the simulator
+    /// is single-threaded, so interior mutability is safe here.
+    rows: Cell<u64>,
 }
 
 impl RowTable {
@@ -47,7 +52,7 @@ impl RowTable {
             mvcc,
             base,
             capacity_rows,
-            rows: 0,
+            rows: Cell::new(0),
         })
     }
 
@@ -64,7 +69,7 @@ impl RowTable {
     /// Number of rows currently stored (including versions no longer
     /// visible to new snapshots).
     pub fn num_rows(&self) -> u64 {
-        self.rows
+        self.rows.get()
     }
 
     /// Maximum number of rows the allocation can hold.
@@ -99,29 +104,31 @@ impl RowTable {
 
     /// Total bytes occupied by the populated part of the table.
     pub fn data_bytes(&self) -> u64 {
-        self.rows * self.physical_row_bytes() as u64
+        self.rows.get() * self.physical_row_bytes() as u64
     }
 
     /// Appends a row, visible from `begin_ts` onwards. Returns its index.
+    /// Takes `&self`: transactional inserts publish rows through the shared
+    /// references held by in-flight workload ops.
     pub fn append(
-        &mut self,
+        &self,
         mem: &mut PhysicalMemory,
         row: &Row,
         begin_ts: Timestamp,
     ) -> Result<u64, StorageError> {
-        if self.rows == self.capacity_rows {
+        if self.rows.get() == self.capacity_rows {
             return Err(StorageError::OutOfMemory {
                 requested: self.physical_row_bytes(),
                 available: 0,
             });
         }
         let bytes = row.encode(&self.schema)?;
-        let idx = self.rows;
+        let idx = self.rows.get();
         if self.mvcc.is_enabled() {
             mem.write(self.row_addr(idx), &encode_header(begin_ts, 0));
         }
         mem.write(self.row_data_addr(idx), &bytes);
-        self.rows += 1;
+        self.rows.set(idx + 1);
         Ok(idx)
     }
 
@@ -199,7 +206,7 @@ impl RowTable {
 
     /// MVCC update: ends the old version and appends the new one.
     pub fn update(
-        &mut self,
+        &self,
         mem: &mut PhysicalMemory,
         row: u64,
         new_row: &Row,
@@ -225,12 +232,12 @@ impl RowTable {
     }
 
     fn check_row(&self, row: u64) -> Result<(), StorageError> {
-        if row < self.rows {
+        if row < self.rows.get() {
             Ok(())
         } else {
             Err(StorageError::RowOutOfRange {
                 row,
-                rows: self.rows,
+                rows: self.rows.get(),
             })
         }
     }
@@ -257,7 +264,7 @@ mod tests {
     #[test]
     fn append_and_read_back() {
         let mut m = mem();
-        let mut t = RowTable::create(&mut m, simple_schema(), 10, MvccConfig::Disabled).unwrap();
+        let t = RowTable::create(&mut m, simple_schema(), 10, MvccConfig::Disabled).unwrap();
         let idx = t.append(&mut m, &Row::from_u64s(&[7, 9]), 0).unwrap();
         assert_eq!(idx, 0);
         assert_eq!(t.num_rows(), 1);
@@ -283,7 +290,7 @@ mod tests {
     #[test]
     fn capacity_and_bounds_enforced() {
         let mut m = mem();
-        let mut t = RowTable::create(&mut m, simple_schema(), 1, MvccConfig::Disabled).unwrap();
+        let t = RowTable::create(&mut m, simple_schema(), 1, MvccConfig::Disabled).unwrap();
         t.append(&mut m, &Row::from_u64s(&[1, 2]), 0).unwrap();
         assert!(t.append(&mut m, &Row::from_u64s(&[3, 4]), 0).is_err());
         assert!(t.read_field(&m, 5, 0).is_err());
@@ -298,7 +305,7 @@ mod tests {
     #[test]
     fn in_place_field_update() {
         let mut m = mem();
-        let mut t = RowTable::create(&mut m, simple_schema(), 4, MvccConfig::Disabled).unwrap();
+        let t = RowTable::create(&mut m, simple_schema(), 4, MvccConfig::Disabled).unwrap();
         t.append(&mut m, &Row::from_u64s(&[1, 2]), 0).unwrap();
         t.write_field(&mut m, 0, 1, &Value::UInt(42)).unwrap();
         assert_eq!(t.read_field(&m, 0, 1).unwrap(), Value::UInt(42));
@@ -310,7 +317,7 @@ mod tests {
     #[test]
     fn mvcc_lifecycle() {
         let mut m = mem();
-        let mut t = RowTable::create(&mut m, simple_schema(), 8, MvccConfig::Enabled).unwrap();
+        let t = RowTable::create(&mut m, simple_schema(), 8, MvccConfig::Enabled).unwrap();
         let r0 = t.append(&mut m, &Row::from_u64s(&[1, 10]), 5).unwrap();
         assert_eq!(t.version(&m, r0).unwrap(), (5, 0));
         // Visible at ts >= 5, invisible before.
@@ -323,7 +330,7 @@ mod tests {
         assert!(t.visible(&m, r1, Snapshot::at(9)).unwrap());
         assert_eq!(t.read_field(&m, r1, 1).unwrap(), Value::UInt(20));
         // Deleting from a non-MVCC table is an error.
-        let mut t2 = RowTable::create(&mut m, simple_schema(), 2, MvccConfig::Disabled).unwrap();
+        let t2 = RowTable::create(&mut m, simple_schema(), 2, MvccConfig::Disabled).unwrap();
         t2.append(&mut m, &Row::from_u64s(&[0, 0]), 0).unwrap();
         assert!(t2.mark_deleted(&mut m, 0, 1).is_err());
         // Non-MVCC rows are always visible.

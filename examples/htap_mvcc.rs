@@ -24,7 +24,7 @@ fn main() {
         relational_memory::storage::ColumnDef::new("status", ColumnType::UInt(4)),
     ])
     .unwrap();
-    let mut orders = system
+    let orders = system
         .create_table(schema, 80_000, MvccConfig::Enabled)
         .expect("table fits");
 

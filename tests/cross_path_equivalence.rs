@@ -517,6 +517,272 @@ mod open_loop_equivalence {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Transactions ≡ flat point ops on the data path
+// ---------------------------------------------------------------------------
+
+mod txn_equivalence {
+    use super::*;
+    use relational_memory::cache::HierarchyStats;
+    use relational_memory::core::system::RowEffect;
+    use relational_memory::core::workload::{QueryStream, Workload, WorkloadOp};
+    use relational_memory::core::{TxnOp, TxnSpec};
+    use relational_memory::dram::DramStats;
+    use relational_memory::storage::MvccConfig;
+    use relmem_sim::TxnStats;
+
+    /// Everything the data path produces for one run. The observer trace
+    /// drops the op label (one transaction is one op; its flat expansion is
+    /// many) but keeps row and projected values, and — unlike the open-loop
+    /// record — *includes* `end`: on one core the transaction scheduler
+    /// adds no time of its own, so even the wall clock must match.
+    #[derive(Debug, Clone, PartialEq)]
+    struct TxnRecord {
+        end: SimTime,
+        cpu: SimTime,
+        rows: u64,
+        trace: Vec<(u64, Vec<u64>)>,
+        cache: HierarchyStats,
+        dram: DramStats,
+        rme: relational_memory::rme::RmeStats,
+    }
+
+    /// One generated transaction: `(row, column, value)` updates plus
+    /// `(row)` reads, derived deterministically from the proptest seed.
+    /// Rows are distinct *across* transactions (conflict-free by
+    /// construction — each transaction owns a disjoint row stripe).
+    struct GenTxn {
+        reads: Vec<u64>,
+        updates: Vec<(u64, usize, u64)>,
+    }
+
+    fn gen_txns(n_txns: u64, ops_per_txn: u64, rows: u64, update_col: usize, seed: u64) -> Vec<GenTxn> {
+        (0..n_txns)
+            .map(|t| {
+                // Disjoint per-transaction stripe, so no two transactions
+                // ever claim the same row even if they were concurrent.
+                let stripe = rows / n_txns.max(1);
+                let lo = t * stripe;
+                let span = stripe.max(1);
+                let mut reads = Vec::new();
+                let mut updates = Vec::new();
+                for i in 0..ops_per_txn {
+                    let row = lo + (seed ^ (t << 8) ^ i).wrapping_mul(2654435761) % span;
+                    if i % 3 == 2 {
+                        updates.push((row, update_col, seed + t * 100 + i));
+                    } else {
+                        reads.push(row);
+                    }
+                }
+                GenTxn { reads, updates }
+            })
+            .collect()
+    }
+
+    /// Runs the generated transactions either as [`WorkloadOp::Txn`] ops or
+    /// as their flat expansion (each transaction's reads in spec order,
+    /// then its updates in spec order — the exact order the transaction
+    /// layer charges them), on one core over an identically built world.
+    fn run_txn_path(
+        flat: bool,
+        seed: u64,
+        widths: &[usize],
+        rows: u64,
+        columns: &[usize],
+        txns: &[GenTxn],
+    ) -> (TxnRecord, TxnStats) {
+        let mut sys = System::with_revision(HwRevision::Mlp, 32 << 20);
+        let schema = schema_from_widths(widths);
+        let mut table = sys
+            .create_table(schema, rows, MvccConfig::Disabled)
+            .unwrap();
+        DataGen::new(seed)
+            .fill_table(sys.mem_mut(), &mut table, rows)
+            .unwrap();
+
+        let specs: Vec<TxnSpec> = txns
+            .iter()
+            .map(|t| {
+                let mut ops: Vec<TxnOp> = t
+                    .reads
+                    .iter()
+                    .map(|&row| TxnOp::Read {
+                        table: &table,
+                        columns,
+                        row,
+                    })
+                    .collect();
+                ops.extend(t.updates.iter().map(|&(row, column, value)| TxnOp::Update {
+                    table: &table,
+                    row,
+                    column,
+                    value,
+                }));
+                TxnSpec::new(ops)
+            })
+            .collect();
+        let ops: Vec<WorkloadOp> = if flat {
+            txns.iter()
+                .flat_map(|t| {
+                    t.reads
+                        .iter()
+                        .map(|&row| WorkloadOp::PointLookup {
+                            table: &table,
+                            columns,
+                            row,
+                        })
+                        .chain(t.updates.iter().map(|&(row, column, value)| {
+                            WorkloadOp::PointUpdate {
+                                table: &table,
+                                row,
+                                column,
+                                value,
+                            }
+                        }))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        } else {
+            specs.iter().map(|spec| WorkloadOp::Txn { spec }).collect()
+        };
+
+        sys.begin_measurement(AccessPath::DirectRowWise);
+        let mut trace: Vec<(u64, Vec<u64>)> = Vec::new();
+        let workload = Workload::new(vec![QueryStream::new(ops)]);
+        let run = sys
+            .run_workload(&workload, SimTime::ZERO, |core, _, row, vals| {
+                assert_eq!(core, 0);
+                trace.push((row, vals.to_vec()));
+                RowEffect::default()
+            })
+            .expect("valid workload");
+        let m = sys.finish_measurement(run.end, run.cpu, AccessPath::DirectRowWise);
+        (
+            TxnRecord {
+                end: run.end,
+                cpu: run.cpu,
+                rows: run.rows,
+                trace,
+                cache: m.cache,
+                dram: m.dram,
+                rme: m.rme,
+            },
+            run.txn,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// A conflict-free transactional workload on one core over a
+        /// non-MVCC table must be counter-identical — observer trace,
+        /// charged CPU, wall clock, cache/DRAM/RME counters — to the flat
+        /// point-op sequence that executes each transaction's reads then
+        /// its updates. Grouping ops into atomic units adds bookkeeping,
+        /// never simulated work: begin is free, intents buffer without
+        /// charge on non-MVCC tables, and commit replays the exact
+        /// point-update bodies.
+        #[test]
+        fn conflict_free_txn_is_counter_identical_to_flat_ops(
+            widths in proptest::collection::vec(1usize..=12, 2..=6),
+            rows in 8u64..200,
+            seed in 0u64..1_000,
+            n_txns in 1u64..5,
+            ops_per_txn in 1u64..8,
+            pick in proptest::collection::vec(any::<bool>(), 6),
+        ) {
+            let columns: Vec<usize> = (0..widths.len()).filter(|&i| pick[i]).collect();
+            prop_assume!(!columns.is_empty());
+            let update_col = widths.iter().position(|&w| w <= 8);
+            prop_assume!(update_col.is_some());
+            let txns = gen_txns(n_txns, ops_per_txn, rows, update_col.unwrap(), seed);
+
+            let (flat, flat_stats) = run_txn_path(true, seed, &widths, rows, &columns, &txns);
+            let (txn, txn_stats) = run_txn_path(false, seed, &widths, rows, &columns, &txns);
+            prop_assert_eq!(&txn, &flat);
+            prop_assert_eq!(flat_stats, TxnStats::default(), "flat runs begin no transactions");
+            prop_assert_eq!(txn_stats.begun, n_txns);
+            prop_assert_eq!(txn_stats.committed, n_txns);
+            prop_assert_eq!(txn_stats.aborted_conflict + txn_stats.aborted_shed, 0);
+        }
+    }
+
+    /// Contended multi-core transactional runs are deterministic: the same
+    /// construction replays to the same commit/abort counts *and* the same
+    /// abort victims (core, op, attempt, local time), run after run.
+    #[test]
+    fn contended_txn_replay_is_deterministic() {
+        fn run_once() -> (TxnStats, Vec<relational_memory::core::TxnAbort>, SimTime) {
+            let rows: u64 = 500;
+            let mut sys = System::with_config(relational_memory::core::SystemConfig {
+                cores: 4,
+                mem_bytes: 32 << 20,
+                ..Default::default()
+            });
+            let schema = schema_from_widths(&[4, 4, 8]);
+            let mut table = sys
+                .create_table(schema, rows, MvccConfig::Enabled)
+                .unwrap();
+            DataGen::new(7)
+                .fill_table(sys.mem_mut(), &mut table, rows)
+                .unwrap();
+            let read_columns = [0usize, 1];
+            // Every core hammers row 0 (plus a private row), with one
+            // in-place retry — guaranteed first-updater-wins conflicts.
+            let specs: Vec<TxnSpec> = (0..4usize)
+                .flat_map(|core| {
+                    (0..6u64).map(move |i| (core, i))
+                })
+                .map(|(core, i)| {
+                    TxnSpec::new(vec![
+                        TxnOp::Read {
+                            table: &table,
+                            columns: &read_columns,
+                            row: 0,
+                        },
+                        TxnOp::Update {
+                            table: &table,
+                            row: 0,
+                            column: 0,
+                            value: i,
+                        },
+                        TxnOp::Update {
+                            table: &table,
+                            row: 1 + (core as u64) * 10 + i,
+                            column: 1,
+                            value: i,
+                        },
+                    ])
+                    .with_retries(3)
+                })
+                .collect();
+            let streams: Vec<QueryStream> = specs
+                .chunks(6)
+                .map(|chunk| {
+                    QueryStream::new(chunk.iter().map(|spec| WorkloadOp::Txn { spec }).collect())
+                })
+                .collect();
+            let workload = Workload::new(streams);
+            sys.begin_measurement(AccessPath::DirectRowWise);
+            let run = sys
+                .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+                .expect("valid workload");
+            assert!(run.txn.is_consistent());
+            (run.txn, run.txn_aborts, run.end)
+        }
+
+        let (stats_a, aborts_a, end_a) = run_once();
+        let (stats_b, aborts_b, end_b) = run_once();
+        assert!(
+            stats_a.aborted_conflict > 0,
+            "four cores hammering one row must conflict: {stats_a:?}"
+        );
+        assert_eq!(stats_a, stats_b, "commit/abort counts must replay exactly");
+        assert_eq!(aborts_a, aborts_b, "abort victims must replay exactly");
+        assert_eq!(end_a, end_b, "the makespan must replay exactly");
+    }
+}
+
 #[test]
 fn all_queries_agree_across_paths_and_parameters() {
     for (rows, row_bytes, width) in [(1_500u64, 64usize, 4usize), (1_000, 128, 8)] {

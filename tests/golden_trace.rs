@@ -102,6 +102,12 @@ fn render_snapshot(sys: &System, end: SimTime, cpu: SimTime, rows: u64) -> Strin
     put(&mut out, "dram.bytes_transferred", dram.bytes_transferred);
     put(&mut out, "dram.beats", dram.beats);
     put(&mut out, "dram.rme_accesses", dram.rme_accesses);
+    // Explicit DRAM writes are issued only by transaction commits
+    // (version-header stamps and published inserts); rendering the counter
+    // only when nonzero keeps every pre-transaction fixture byte-identical.
+    if dram.writes > 0 {
+        put(&mut out, "dram.writes", dram.writes);
+    }
     for (core, n) in dram.per_core_accesses.iter().enumerate() {
         put(&mut out, &format!("dram.core{core}.accesses"), n);
     }
@@ -342,6 +348,149 @@ fn golden_workload_htap_2core() {
         "workload_htap_2core",
         &render_snapshot(&sys, run.end, run.cpu, run.rows),
     );
+}
+
+/// Appends the run's transaction accounting to a snapshot, so the fixture
+/// reviews commit/abort drift alongside the hardware counters.
+fn render_txn(out: &mut String, txn: &relmem_sim::TxnStats) {
+    put(out, "txn.begun", txn.begun);
+    put(out, "txn.committed", txn.committed);
+    put(out, "txn.aborted_conflict", txn.aborted_conflict);
+    put(out, "txn.aborted_shed", txn.aborted_shed);
+    put(out, "txn.rows_inserted", txn.rows_inserted);
+}
+
+/// A transactional HTAP mix: core 0 runs multi-row MVCC transactions
+/// (read-modify-write pairs plus a delete), core 1 a concurrent snapshot
+/// scan. Commit stamps force version headers to DRAM, so this is the first
+/// fixture where `dram.writes` appears.
+#[test]
+fn golden_txn_mixed_2core() {
+    use relational_memory::core::{TxnOp, TxnSpec};
+
+    let (mut sys, table) = build(2, MvccConfig::Enabled);
+    let read_columns = [1usize, 3];
+    let scan_columns = [0usize];
+    let specs: Vec<TxnSpec> = (0..12u64)
+        .map(|i| {
+            let a = i.wrapping_mul(2654435761) % ROWS;
+            let b = (a + 1) % ROWS;
+            let mut ops = vec![
+                TxnOp::Read {
+                    table: &table,
+                    columns: &read_columns,
+                    row: a,
+                },
+                TxnOp::Update {
+                    table: &table,
+                    row: a,
+                    column: 1,
+                    value: i,
+                },
+                TxnOp::Read {
+                    table: &table,
+                    columns: &read_columns,
+                    row: b,
+                },
+                TxnOp::Update {
+                    table: &table,
+                    row: b,
+                    column: 2,
+                    value: i + 100,
+                },
+            ];
+            if i % 4 == 3 {
+                ops.push(TxnOp::Delete {
+                    table: &table,
+                    row: (a + 2) % ROWS,
+                });
+            }
+            TxnSpec::new(ops)
+        })
+        .collect();
+    let txn_ops: Vec<WorkloadOp> = specs.iter().map(|spec| WorkloadOp::Txn { spec }).collect();
+    let workload = Workload::new(vec![
+        QueryStream::new(txn_ops),
+        QueryStream::new(vec![WorkloadOp::OlapScan {
+            source: ScanSource::Rows {
+                table: &table,
+                columns: &scan_columns,
+                snapshot: Some(Snapshot::at(2)),
+            },
+            stream_snapshot: false,
+        }]),
+    ]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, row, _| RowEffect {
+            cpu: SimTime::from_nanos(row % 3),
+            touch: None,
+        })
+        .expect("valid workload");
+    assert_eq!(run.txn.committed, 12, "a sequential stream never conflicts");
+    assert!(run.txn.is_consistent());
+    let mut snapshot = render_snapshot(&sys, run.end, run.cpu, run.rows);
+    render_txn(&mut snapshot, &run.txn);
+    check_golden("txn_mixed_2core", &snapshot);
+}
+
+/// Insert-publishing transactions on one core: the table is created with
+/// append headroom and each transaction publishes two fresh rows (cold
+/// cache lines plus explicit DRAM writes) next to a point read.
+#[test]
+fn golden_txn_insert_1core() {
+    use relational_memory::core::{TxnOp, TxnSpec};
+
+    let mut config = SystemConfig {
+        cores: 1,
+        mem_bytes: 16 << 20,
+        ..SystemConfig::default()
+    };
+    config.platform.dram.model = relmem_sim::MemoryModel::Occupancy;
+    let mut sys = System::with_config(config);
+    let schema = Schema::benchmark(4, 4, 64);
+    let mut table = sys
+        .create_table(schema, ROWS + 32, MvccConfig::Disabled)
+        .unwrap();
+    DataGen::new(SEED)
+        .fill_table(sys.mem_mut(), &mut table, ROWS)
+        .unwrap();
+
+    let read_columns = [0usize, 2];
+    let value_rows: Vec<[u64; 5]> = (0..16u64)
+        .map(|i| [i, i + 1, i + 2, i + 3, 0])
+        .collect();
+    let specs: Vec<TxnSpec> = value_rows
+        .chunks(2)
+        .enumerate()
+        .map(|(t, chunk)| {
+            let mut ops = vec![TxnOp::Read {
+                table: &table,
+                columns: &read_columns,
+                row: (t as u64).wrapping_mul(2654435761) % ROWS,
+            }];
+            for values in chunk {
+                ops.push(TxnOp::Insert {
+                    table: &table,
+                    columnar: None,
+                    values,
+                });
+            }
+            TxnSpec::new(ops)
+        })
+        .collect();
+    let txn_ops: Vec<WorkloadOp> = specs.iter().map(|spec| WorkloadOp::Txn { spec }).collect();
+    let workload = Workload::new(vec![QueryStream::new(txn_ops)]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+        .expect("valid workload");
+    assert_eq!(run.txn.committed, 8);
+    assert_eq!(run.txn.rows_inserted, 16);
+    assert_eq!(table.num_rows(), ROWS + 16);
+    let mut snapshot = render_snapshot(&sys, run.end, run.cpu, run.rows);
+    render_txn(&mut snapshot, &run.txn);
+    check_golden("txn_insert_1core", &snapshot);
 }
 
 /// A single-stream workload on one core — pinned to the same numbers as
