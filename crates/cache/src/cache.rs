@@ -47,6 +47,12 @@ pub struct Cache {
     /// Recency stamps parallel to `tags`; larger is more recent. Only
     /// meaningful for occupied ways.
     stamps: Vec<u64>,
+    /// Dirty bits parallel to `tags`: set by [`mark_dirty`](Self::mark_dirty)
+    /// (a CPU write touched the line), cleared on install. Dirty state never
+    /// influences lookup or replacement — it only reports whether an evicted
+    /// line owes the backend a writeback — so tracking it is unobservable to
+    /// every caller that never asks.
+    dirty: Vec<bool>,
     /// Source of strictly increasing recency stamps.
     tick: u64,
     stats: CacheLevelStats,
@@ -75,6 +81,7 @@ impl Cache {
                 .then_some(sets as u64 - 1),
             tags: vec![EMPTY; sets * cfg.associativity],
             stamps: vec![0; sets * cfg.associativity],
+            dirty: vec![false; sets * cfg.associativity],
             tick: 0,
             cfg,
             stats: CacheLevelStats::default(),
@@ -224,7 +231,52 @@ impl Cache {
         let old = self.tags[base + victim];
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.next_tick();
+        self.dirty[base + victim] = false;
         Some((old != EMPTY).then_some(old))
+    }
+
+    /// Like [`probe_else_fill`](Self::probe_else_fill), but reports the
+    /// evicted line's dirty status alongside its address — the entry point
+    /// for levels that owe the backend writebacks of dirty victims.
+    #[inline]
+    pub fn probe_else_fill_dirty(&mut self, addr: u64) -> Option<(Option<u64>, bool)> {
+        let line = self.line_addr(addr);
+        let base = self.set_base(line);
+        if let Some(way) = self.find_way(base, line) {
+            self.stamps[base + way] = self.next_tick();
+            return None;
+        }
+        let victim = self.victim_way(base);
+        let old = self.tags[base + victim];
+        let was_dirty = self.dirty[base + victim];
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.next_tick();
+        self.dirty[base + victim] = false;
+        Some(((old != EMPTY).then_some(old), was_dirty && old != EMPTY))
+    }
+
+    /// Marks the line containing `addr` dirty if resident, without touching
+    /// LRU order or counters (so the mark is unobservable to replacement
+    /// and timing). Returns whether the line was resident.
+    #[inline]
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        let base = self.set_base(line);
+        match self.find_way(base, line) {
+            Some(way) => {
+                self.dirty[base + way] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the line containing `addr` is resident and dirty.
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        let base = self.set_base(line);
+        self.find_way(base, line)
+            .is_some_and(|way| self.dirty[base + way])
     }
 
     /// Inserts a line the caller knows is absent (a just-missed probe) as
@@ -239,6 +291,7 @@ impl Cache {
         let old = self.tags[base + victim];
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.next_tick();
+        self.dirty[base + victim] = false;
         (old != EMPTY).then_some(old)
     }
 
@@ -262,6 +315,7 @@ impl Cache {
         if let Some(way) = self.find_way(base, line) {
             self.tags[base + way] = EMPTY;
             self.stamps[base + way] = 0;
+            self.dirty[base + way] = false;
         }
     }
 
@@ -269,6 +323,7 @@ impl Cache {
     pub fn flush(&mut self) {
         self.tags.fill(EMPTY);
         self.stamps.fill(0);
+        self.dirty.fill(false);
     }
 
     /// Number of resident lines.
@@ -382,6 +437,52 @@ mod tests {
         assert!(!c.probe(128));
         assert_eq!(c.stats().requests, 0);
         assert_eq!(c.fill_absent(128), Some(64));
+    }
+
+    #[test]
+    fn dirty_bits_track_writes_and_clear_on_install() {
+        let mut c = small_cache(2, 1);
+        assert!(!c.mark_dirty(0), "marking an absent line is a no-op");
+        c.fill(0);
+        assert!(!c.is_dirty(0));
+        assert!(c.mark_dirty(0));
+        assert!(c.is_dirty(0));
+        c.fill(64);
+        // Evicting the dirty line (LRU is 0 after 64's fill refreshed
+        // nothing — touch 64 so 0 stays LRU) reports its dirty status.
+        assert!(c.probe(64));
+        let (evicted, was_dirty) = c.probe_else_fill_dirty(128).expect("miss");
+        assert_eq!(evicted, Some(0));
+        assert!(was_dirty, "the evicted line was written");
+        // The recycled way starts clean.
+        assert!(!c.is_dirty(128));
+        // A clean eviction reports clean.
+        let (evicted, was_dirty) = c.probe_else_fill_dirty(192).expect("miss");
+        assert_eq!(evicted, Some(64));
+        assert!(!was_dirty);
+        // Invalidate and flush clear dirty state.
+        c.mark_dirty(128);
+        c.invalidate(128);
+        c.fill(128);
+        assert!(!c.is_dirty(128));
+        c.mark_dirty(128);
+        c.flush();
+        c.fill(128);
+        assert!(!c.is_dirty(128));
+    }
+
+    #[test]
+    fn mark_dirty_does_not_touch_lru_order() {
+        let mut a = small_cache(2, 1);
+        let mut b = small_cache(2, 1);
+        for c in [&mut a, &mut b] {
+            c.fill(0);
+            c.fill(64); // order (MRU→LRU): 64, 0
+        }
+        a.mark_dirty(0); // must NOT promote line 0
+        let (ea, eb) = (a.fill(128), b.fill(128));
+        assert_eq!(ea, eb, "replacement diverged");
+        assert_eq!(ea, Some(0));
     }
 
     #[test]

@@ -91,6 +91,16 @@ pub trait MemoryBackend {
     fn prefetchable(&self, _line_addr: u64) -> bool {
         true
     }
+
+    /// Notifies the backend that a dirty line was evicted from the L2 at
+    /// `ready` and owes main memory a write. Default: ignored — the
+    /// occupancy DRAM model's timing is read/write-symmetric and its golden
+    /// fixtures predate writeback traffic, so only backends that route to
+    /// the cycle-accurate model in event-driven mode turn this into a real
+    /// DRAM write (where tWR/tWTR exist to observe it). Fire-and-forget by
+    /// design: the evicting access never waits on the writeback, it
+    /// contends with it at the DRAM.
+    fn writeback_line(&mut self, _line_addr: u64, _ready: SimTime) {}
 }
 
 /// Blanket implementation so `&mut T` can be passed where a backend is
@@ -102,6 +112,10 @@ impl<T: MemoryBackend + ?Sized> MemoryBackend for &mut T {
 
     fn prefetchable(&self, line_addr: u64) -> bool {
         (**self).prefetchable(line_addr)
+    }
+
+    fn writeback_line(&mut self, line_addr: u64, ready: SimTime) {
+        (**self).writeback_line(line_addr, ready)
     }
 }
 
@@ -341,7 +355,11 @@ impl CoreFrontend {
     }
 
     /// Performs a CPU write; with a write-allocate, write-back cache the
-    /// timing model is identical to a read.
+    /// timing model is identical to a read, plus the touched L2 lines are
+    /// marked dirty so their eventual eviction owes the backend a
+    /// writeback. Marking never alters LRU order or timing — with a
+    /// backend that ignores [`MemoryBackend::writeback_line`] (the
+    /// default) a write remains observationally identical to a read.
     pub fn write<B: MemoryBackend>(
         &mut self,
         addr: u64,
@@ -350,7 +368,18 @@ impl CoreFrontend {
         l2: &mut SharedL2,
         backend: &mut B,
     ) -> AccessOutcome {
-        self.access(addr, bytes, now, l2, backend)
+        let outcome = self.access(addr, bytes, now, l2, backend);
+        let first_line = addr & !(self.line_bytes - 1);
+        let last_line = (addr + bytes.max(1) as u64 - 1) & !(self.line_bytes - 1);
+        let mut line = first_line;
+        loop {
+            l2.mark_dirty(line);
+            if line == last_line {
+                break;
+            }
+            line += self.line_bytes;
+        }
+        outcome
     }
 
     #[inline]
@@ -405,7 +434,7 @@ impl CoreFrontend {
         let (lookup_start, waited) = l2.book_bank(self.core, line, now + self.l1_hit);
         self.note_l2_wait(waited);
         let l2_lookup_done = lookup_start + self.l2_hit;
-        match l2.probe_else_fill(line) {
+        match l2.probe_else_fill_dirty(line) {
             None => {
                 self.stats.l2.hits += 1;
                 // The line may still be in flight if it was prefetched
@@ -419,10 +448,13 @@ impl CoreFrontend {
                     level: HitLevel::L2,
                 }
             }
-            Some(evicted) => {
+            Some((evicted, evicted_dirty)) => {
                 self.stats.l2.misses += 1;
                 if let Some(evicted) = evicted {
                     l2.pending_remove(evicted);
+                    if evicted_dirty {
+                        backend.writeback_line(evicted, l2_lookup_done);
+                    }
                 }
                 // Demand fill from the backend, subject to the
                 // outstanding-miss cap.
@@ -472,7 +504,7 @@ impl CoreFrontend {
         self.stats.l2.requests += 1;
         let (lookup_start, waited) = l2.book_bank(self.core, line, now);
         self.note_l2_wait(waited);
-        let evicted = match l2.probe_else_fill(line) {
+        let (evicted, evicted_dirty) = match l2.probe_else_fill_dirty(line) {
             None => {
                 self.stats.l2.hits += 1;
                 return;
@@ -482,6 +514,9 @@ impl CoreFrontend {
         self.stats.l2.misses += 1;
         if let Some(evicted) = evicted {
             l2.pending_remove(evicted);
+            if evicted_dirty {
+                backend.writeback_line(evicted, lookup_start);
+            }
         }
         self.stats.prefetches_issued += 1;
         self.stats.backend_fills += 1;
@@ -572,7 +607,8 @@ impl CacheHierarchy {
     }
 
     /// Performs a CPU write; with a write-allocate, write-back cache the
-    /// timing model is identical to a read.
+    /// timing model is identical to a read, and the touched L2 lines are
+    /// marked dirty (see [`CoreFrontend::write`]).
     pub fn write<B: MemoryBackend>(
         &mut self,
         addr: u64,
@@ -580,7 +616,7 @@ impl CacheHierarchy {
         now: SimTime,
         backend: &mut B,
     ) -> AccessOutcome {
-        self.access(addr, bytes, now, backend)
+        self.front.write(addr, bytes, now, &mut self.l2, backend)
     }
 }
 
@@ -593,12 +629,18 @@ pub struct FixedLatencyBackend {
     pub latency: SimTime,
     /// Number of fills served.
     pub fills: u64,
+    /// Dirty-eviction writebacks notified (never charged any time).
+    pub writebacks: u64,
 }
 
 impl FixedLatencyBackend {
     /// Creates a backend with the given fill latency.
     pub fn new(latency: SimTime) -> Self {
-        FixedLatencyBackend { latency, fills: 0 }
+        FixedLatencyBackend {
+            latency,
+            fills: 0,
+            writebacks: 0,
+        }
     }
 }
 
@@ -606,6 +648,10 @@ impl MemoryBackend for FixedLatencyBackend {
     fn fill_line(&mut self, _line_addr: u64, ready: SimTime) -> SimTime {
         self.fills += 1;
         ready + self.latency
+    }
+
+    fn writeback_line(&mut self, _line_addr: u64, _ready: SimTime) {
+        self.writebacks += 1;
     }
 }
 
@@ -753,6 +799,58 @@ mod tests {
         }
         assert_eq!(fast.stats(), full.stats());
         assert_eq!(mem_a.fills, mem_b.fills);
+    }
+
+    /// A write is observationally identical to a read in timing, levels
+    /// and statistics; only the dirty marks (and hence later writeback
+    /// notifications) differ.
+    #[test]
+    fn writes_time_like_reads_and_mark_dirty() {
+        let mut reads = CacheHierarchy::new(&cfg());
+        let mut writes = CacheHierarchy::new(&cfg());
+        let mut mem_r = FixedLatencyBackend::new(ns(80));
+        let mut mem_w = FixedLatencyBackend::new(ns(80));
+        let mut now_r = SimTime::ZERO;
+        let mut now_w = SimTime::ZERO;
+        for i in 0..64u64 {
+            let addr = i * 192;
+            let a = reads.access(addr, 8, now_r, &mut mem_r);
+            let b = writes.write(addr, 8, now_w, &mut mem_w);
+            assert_eq!(a, b);
+            now_r = a.completion;
+            now_w = b.completion;
+        }
+        assert_eq!(reads.stats(), writes.stats());
+        assert_eq!(mem_r.fills, mem_w.fills);
+        assert_eq!(mem_r.writebacks, 0, "no evictions yet in either run");
+        assert!(writes.l2.cache().is_dirty(0), "written lines are dirty");
+        assert!(!reads.l2.cache().is_dirty(0), "read lines stay clean");
+    }
+
+    /// Dirty L2 victims notify the backend exactly once, at eviction.
+    #[test]
+    fn dirty_evictions_notify_the_backend() {
+        let cfg = cfg(); // L2: 8 KB, 16-way, 8 sets
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut mem = FixedLatencyBackend::new(ns(100));
+        let mut now = SimTime::ZERO;
+        // Dirty one line, then flood its L2 set with 17 distinct clean
+        // lines (stride = sets × line so they alias; large stride keeps
+        // the prefetcher out of the picture).
+        now = h.write(0, 8, now, &mut mem).completion;
+        let set_stride = 8 * 64u64;
+        for i in 1..=17u64 {
+            now = h.access(i * set_stride, 8, now, &mut mem).completion;
+            now += ns(1);
+        }
+        assert_eq!(mem.writebacks, 1, "exactly the dirty victim wrote back");
+        // Re-filling and cleanly evicting it again adds nothing.
+        now = h.access(0, 8, now, &mut mem).completion;
+        for i in 1..=17u64 {
+            now = h.access(i * set_stride, 8, now, &mut mem).completion;
+            now += ns(1);
+        }
+        assert_eq!(mem.writebacks, 1, "clean evictions never write back");
     }
 
     /// Regression test for the stale pending-fill leak: a prefetched line

@@ -161,11 +161,18 @@ impl SharedL2 {
         (start, waited)
     }
 
-    /// One-walk probe-or-install of the L2 tag store (see
-    /// [`Cache::probe_else_fill`]).
+    /// Dirty-aware probe-or-install: additionally reports whether the
+    /// evicted line was dirty (see [`Cache::probe_else_fill_dirty`]).
     #[inline]
-    pub(crate) fn probe_else_fill(&mut self, line: u64) -> Option<Option<u64>> {
-        self.cache.probe_else_fill(line)
+    pub(crate) fn probe_else_fill_dirty(&mut self, line: u64) -> Option<(Option<u64>, bool)> {
+        self.cache.probe_else_fill_dirty(line)
+    }
+
+    /// Marks a resident line dirty (a CPU write touched it). Never alters
+    /// LRU order, bank occupancy or counters.
+    #[inline]
+    pub fn mark_dirty(&mut self, line: u64) -> bool {
+        self.cache.mark_dirty(line)
     }
 
     /// Records a line whose fill is in flight until `arrival`.

@@ -587,7 +587,12 @@ impl System {
                 &mut degrade,
                 &mut observer,
             );
+            // The stepped core's clock is the scheduler's event horizon:
+            // retire every memory completion it can now observe.
+            let horizon = states[core].st.now;
+            self.dram.drain_completions(horizon);
         }
+        self.settle_memory();
 
         let mut end = SimTime::ZERO;
         let mut cpu = SimTime::ZERO;

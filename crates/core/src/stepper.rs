@@ -301,6 +301,7 @@ impl<'a> ScanJob<'a> {
                             engine: &mut *engine,
                             dram: &mut *dram,
                             mem,
+                            line_bytes,
                             core,
                         },
                     );

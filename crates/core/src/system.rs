@@ -144,6 +144,14 @@ pub struct SystemConfig {
     /// experiments bit for bit; `> 1` enables the shared-L2 contention model
     /// and [`System::scan_sharded`].
     pub cores: usize,
+    /// Whether the memory path runs event-driven (the default): DRAM
+    /// requests go through the completion queue, the RME fetches frames
+    /// incrementally (overlapping fetch with compute line by line) and —
+    /// under the cycle-accurate DRAM model — writes buffer in the FR-FCFS
+    /// window and dirty cache evictions become real DRAM writes. See
+    /// [`System::set_event_driven`] for exactly which runs stay
+    /// bit-identical to the synchronous path.
+    pub event_driven: bool,
 }
 
 impl Default for SystemConfig {
@@ -153,6 +161,7 @@ impl Default for SystemConfig {
             revision: HwRevision::Mlp,
             mem_bytes: 64 << 20,
             cores: 1,
+            event_driven: true,
         }
     }
 }
@@ -176,6 +185,9 @@ pub struct System {
     /// `run_workload` / `run_open_loop`.
     pub(crate) txn_rt: TxnRuntime,
     ephemeral_cursor: u64,
+    /// Whether the event-driven memory path is active (see
+    /// [`SystemConfig::event_driven`]).
+    event_driven: bool,
 }
 
 impl System {
@@ -187,6 +199,7 @@ impl System {
             revision,
             mem_bytes,
             cores: 1,
+            event_driven: true,
         })
     }
 
@@ -211,7 +224,7 @@ impl System {
             cfg.dram.bus_bytes,
             cfg.line_bytes(),
         );
-        System {
+        let mut sys = System {
             mem: PhysicalMemory::new(config.mem_bytes),
             dram: DramModel::new(cfg.dram),
             cores: (0..config.cores)
@@ -223,7 +236,10 @@ impl System {
             cfg,
             txn_rt: TxnRuntime::default(),
             ephemeral_cursor: EPHEMERAL_REGION_BASE,
-        }
+            event_driven: false,
+        };
+        sys.set_event_driven(config.event_driven);
+        sys
     }
 
     /// Convenience constructor: default single-core ZCU102 platform.
@@ -372,6 +388,10 @@ impl System {
     /// first frame of the currently registered ephemeral variable is
     /// pre-packed into the Reorganization Buffer.
     pub fn begin_measurement(&mut self, path: AccessPath) {
+        // Book any incremental frame fetch still in flight *before* the DRAM
+        // reset, so its traffic lands in the epoch that caused it and the
+        // measured run starts from a settled memory system.
+        self.settle_memory();
         for core in &mut self.cores {
             core.flush();
             core.reset_stats();
@@ -392,6 +412,50 @@ impl System {
                 self.engine.reset_timing();
             }
         }
+    }
+
+    /// Switches the memory path between the event-driven completion-queue
+    /// mode (the default) and the fully synchronous one.
+    ///
+    /// Event-driven mode routes every DRAM request through the completion
+    /// queue, makes the RME fetch descriptor-window frames incrementally
+    /// (line-by-line overlap of fetch with compute) and — under the
+    /// cycle-accurate DRAM model only — buffers writes for FR-FCFS
+    /// reordering and emits dirty L2 evictions as real DRAM writes.
+    ///
+    /// Under the occupancy model, runs whose DRAM request *order* is
+    /// unchanged stay bit-identical to the synchronous path: all pure
+    /// row/columnar runs (no engine traffic) and all pure-ephemeral scans,
+    /// single- or multi-core (engine bookings are the only DRAM traffic and
+    /// stay in per-frame prefix order at frozen dispatch anchors). Mixed
+    /// ephemeral + row workloads keep data and per-run traffic *totals*
+    /// identical, but timing may shift because frame fetches now interleave
+    /// with CPU fills instead of being booked up front — that overlap is the
+    /// point. The differential equivalence suite pins each of these classes.
+    ///
+    /// Flip only at a measurement boundary; any pending incremental fetch is
+    /// settled first.
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.engine.finish_pending_fetch(&self.mem, &mut self.dram);
+        self.dram.drain_all();
+        self.engine.set_incremental(on);
+        self.dram.set_event_driven(on);
+        self.event_driven = on;
+    }
+
+    /// Whether the event-driven memory path is active.
+    pub fn event_driven(&self) -> bool {
+        self.event_driven
+    }
+
+    /// Settles all outstanding memory events: books any incremental frame
+    /// fetch still in flight and drains every issued DRAM completion,
+    /// flushing the cycle-accurate model's buffered writes. Every scheduler
+    /// loop ends with this (and every measurement begins with it), so run
+    /// totals always include traffic the event-driven path deferred.
+    pub fn settle_memory(&mut self) {
+        self.engine.finish_pending_fetch(&self.mem, &mut self.dram);
+        self.dram.drain_all();
     }
 
     /// Collects the counters accumulated since the last
@@ -460,7 +524,7 @@ impl System {
     where
         F: FnMut(u64, &[u64]) -> RowEffect,
     {
-        match source {
+        let out = match source {
             ScanSource::Rows {
                 table,
                 columns,
@@ -470,7 +534,9 @@ impl System {
                 self.scan_columnar(table, columns, start, &mut per_row)
             }
             ScanSource::Ephemeral { var } => self.scan_ephemeral(var, start, &mut per_row),
-        }
+        };
+        self.settle_memory();
+        out
     }
 
     /// Row-major scan with hoisted column cursors.
@@ -673,6 +739,7 @@ impl System {
                         engine: &mut *engine,
                         dram: &mut *dram,
                         mem,
+                        line_bytes,
                         core: 0,
                     },
                 );
@@ -836,6 +903,7 @@ impl System {
                                 engine: &mut *engine,
                                 dram: &mut *dram,
                                 mem,
+                                line_bytes,
                                 core: 0,
                             },
                         );
@@ -851,6 +919,8 @@ impl System {
                 }
             }
         }
+        engine.finish_pending_fetch(mem, dram);
+        dram.drain_all();
         (now, cpu_total, rows_scanned)
     }
 }
@@ -911,6 +981,16 @@ impl MemoryBackend for DramBackend<'_> {
             )
             .finish
     }
+
+    fn writeback_line(&mut self, line_addr: u64, ready: SimTime) {
+        if self.dram.writebacks_active() {
+            self.dram.issue(
+                MemRequest::new(line_addr, self.line_bytes, ready)
+                    .with_requestor(Requestor::Core(self.core))
+                    .as_write(),
+            );
+        }
+    }
 }
 
 /// Ephemeral-route backend: L2 misses are served by the RME, attributed to
@@ -919,6 +999,7 @@ pub(crate) struct RmeBackend<'a> {
     pub(crate) engine: &'a mut RmeEngine,
     pub(crate) dram: &'a mut DramModel,
     pub(crate) mem: &'a PhysicalMemory,
+    pub(crate) line_bytes: usize,
     pub(crate) core: usize,
 }
 
@@ -926,6 +1007,16 @@ impl MemoryBackend for RmeBackend<'_> {
     fn fill_line(&mut self, line_addr: u64, ready: SimTime) -> SimTime {
         self.engine
             .serve_line_from(self.core, line_addr, ready, self.mem, self.dram)
+    }
+
+    fn writeback_line(&mut self, line_addr: u64, ready: SimTime) {
+        if self.dram.writebacks_active() {
+            self.dram.issue(
+                MemRequest::new(line_addr, self.line_bytes, ready)
+                    .with_requestor(Requestor::Core(self.core))
+                    .as_write(),
+            );
+        }
     }
 
     fn prefetchable(&self, line_addr: u64) -> bool {
@@ -1107,8 +1198,14 @@ impl System {
             if step.scanned {
                 st.rows += 1;
             }
+            // The stepped core's clock is the interleaver's event horizon:
+            // everything the memory system finished before it is now
+            // observable, so retire it from the completion queue.
+            let horizon = st.now;
+            self.dram.drain_completions(horizon);
         }
 
+        self.settle_memory();
         self.collect_sharded(states, &ranges)
     }
 

@@ -34,10 +34,12 @@
 //!    they exhibit cold-miss behaviour). On MVCC tables each commit stamp
 //!    and each published row additionally issues an **explicit DRAM
 //!    write** ([`ReqKind::Write`](relmem_dram::ReqKind::Write)) forcing
-//!    the version header to memory — commit durability is the only
-//!    CPU-side traffic that reaches DRAM as writes, which is what
-//!    exercises the cycle-accurate model's tWR/tWTR constraints outside
-//!    its own unit tests.
+//!    the version header to memory. Commit durability is deliberately
+//!    *synchronous* — a commit is not observable until its write is
+//!    ordered — so these writes bypass the event-driven write buffer and
+//!    always exercise the cycle-accurate model's tWR/tWTR constraints.
+//!    (Dirty-eviction writebacks are the other CPU-side write source,
+//!    emitted asynchronously on the event-driven cycle-accurate path.)
 //!
 //! # Conflicts
 //!
@@ -532,11 +534,13 @@ impl System {
     }
 
     /// Forces 16 bytes at `addr` (a version header) to DRAM: one cache
-    /// write for the stamp itself plus an explicit DRAM write request —
-    /// the only CPU-side traffic that reaches DRAM as
-    /// [`ReqKind::Write`](relmem_dram::ReqKind::Write) (cache-line fills
-    /// are reads and writebacks are not modelled), so the cycle-accurate
-    /// model's tWR/tWTR constraints bite on commits.
+    /// write for the stamp itself plus an explicit, *synchronous* DRAM
+    /// write request — durability means the commit is not observable
+    /// before its write is ordered, so this never goes through the
+    /// event-driven write buffer and the cycle-accurate model's tWR/tWTR
+    /// constraints always bite on commits. (Dirty-eviction writebacks are
+    /// the asynchronous counterpart, emitted only on the event-driven
+    /// cycle-accurate path.)
     fn commit_stamp(&mut self, core: usize, st: &mut StreamState<'_, '_>, addr: u64) {
         let front = &mut self.cores[core];
         let mut backend = DramBackend {

@@ -762,7 +762,12 @@ impl System {
                 break;
             };
             self.step_stream(core, &mut states[core], &mut observer);
+            // The stepped stream's clock is the scheduler's event horizon:
+            // retire every memory completion it can now observe.
+            let horizon = states[core].now;
+            self.dram.drain_completions(horizon);
         }
+        self.settle_memory();
 
         let mut end = SimTime::ZERO;
         let mut cpu = SimTime::ZERO;

@@ -27,10 +27,10 @@
 //! [`Requestor`] tag so traffic can be attributed per core in
 //! [`DramStats::per_core_accesses`].
 
-use relmem_sim::{DramConfig, MultiResource, Resource, SimTime};
+use relmem_sim::{DramConfig, PriorityResource, SimTime};
 
 use crate::address::AddressMapping;
-use crate::request::{Completion, MemRequest, ReqKind, Requestor};
+use crate::request::{Completion, MemRequest, ReqKind, RequestId, Requestor};
 
 /// Aggregate statistics kept by the controller.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -75,6 +75,17 @@ pub struct DramStats {
     /// model only). Equal to the configured queue depth once the
     /// transaction queue has saturated at least once.
     pub queue_occupancy_max: u64,
+    /// Writes that entered through the asynchronous
+    /// [`issue`](DramController::issue) path (cache dirty-line writebacks).
+    /// A subset of [`writes`](Self::writes): explicit synchronous writes
+    /// (transaction commit durability) count only there.
+    pub writebacks: u64,
+    /// Cross-request FR-FCFS reorder events (cycle-accurate model only):
+    /// a read scheduled past at least one older buffered write, or a
+    /// buffered write promoted ahead of an older one because it hits an
+    /// open row. Always zero under the occupancy model and on the
+    /// synchronous path, where completions are consumed in arrival order.
+    pub fr_fcfs_reorders: u64,
 }
 
 impl DramStats {
@@ -99,6 +110,70 @@ impl DramStats {
     }
 }
 
+/// The pending/drained buffers behind the asynchronous `issue` /
+/// `drain_completions` API, shared by both timing models. Ids are handed
+/// out monotonically; draining moves every completion that finished at or
+/// before `now` into a reusable buffer, ordered by `(finish, id)` so the
+/// event stream the interleaver sees is deterministic regardless of how
+/// the underlying schedule interleaved banks.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CompletionQueue {
+    next_id: u64,
+    pending: Vec<(RequestId, Completion)>,
+    drained: Vec<(RequestId, Completion)>,
+}
+
+impl CompletionQueue {
+    /// Allocates the next request id.
+    pub(crate) fn next_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Records a serviced request awaiting retrieval.
+    pub(crate) fn push(&mut self, id: RequestId, completion: Completion) {
+        self.pending.push((id, completion));
+    }
+
+    /// Moves every completion with `finish <= now` into the drained buffer
+    /// and returns it, ordered by `(finish, id)`.
+    pub(crate) fn drain_due(&mut self, now: SimTime) -> &[(RequestId, Completion)] {
+        self.drained.clear();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].1.finish <= now {
+                self.drained.push(self.pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.drained.sort_by_key(|&(id, c)| (c.finish, id));
+        &self.drained
+    }
+
+    /// Drains every pending completion regardless of finish time (end of a
+    /// measured run; avoids `SimTime::MAX` arithmetic entirely).
+    pub(crate) fn drain_remaining(&mut self) -> &[(RequestId, Completion)] {
+        self.drained.clear();
+        self.drained.append(&mut self.pending);
+        self.drained.sort_by_key(|&(id, c)| (c.finish, id));
+        &self.drained
+    }
+
+    /// Requests issued but not yet drained.
+    pub(crate) fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Clears both buffers and restarts id allocation.
+    pub(crate) fn reset(&mut self) {
+        self.next_id = 0;
+        self.pending.clear();
+        self.drained.clear();
+    }
+}
+
 /// The DRAM controller.
 #[derive(Debug, Clone)]
 pub struct DramController {
@@ -106,11 +181,16 @@ pub struct DramController {
     mapping: AddressMapping,
     /// Open row per bank (None = precharged).
     open_rows: Vec<Option<u64>>,
-    banks: MultiResource,
-    bus: Resource,
+    banks: Vec<PriorityResource>,
+    bus: PriorityResource,
+    /// Event-driven mode: CPU (core) requests are admitted with demand
+    /// priority instead of appending behind every future reservation. See
+    /// [`set_event_driven`](Self::set_event_driven).
+    event_mode: bool,
     /// `log2(bus_bytes)` when the bus width is a power of two (always, in
     /// practice): turns the per-access beat count into a shift.
     bus_shift: Option<u32>,
+    queue: CompletionQueue,
     stats: DramStats,
 }
 
@@ -120,14 +200,16 @@ impl DramController {
         let mapping = AddressMapping::with_hash(cfg.banks, cfg.row_bytes, cfg.xor_bank_hash);
         DramController {
             open_rows: vec![None; cfg.banks],
-            banks: MultiResource::new("dram-banks", cfg.banks),
-            bus: Resource::new("dram-bus"),
+            banks: (0..cfg.banks).map(|_| PriorityResource::new("dram-bank")).collect(),
+            bus: PriorityResource::new("dram-bus"),
+            event_mode: false,
             bus_shift: cfg
                 .bus_bytes
                 .is_power_of_two()
                 .then(|| cfg.bus_bytes.trailing_zeros()),
             mapping,
             cfg,
+            queue: CompletionQueue::default(),
             stats: DramStats::default(),
         }
     }
@@ -148,11 +230,68 @@ impl DramController {
     }
 
     /// Resets timing state and statistics (open rows, resource occupancy).
+    /// The event-driven mode flag survives, like a hardware configuration
+    /// bit.
     pub fn reset(&mut self) {
         self.open_rows.iter_mut().for_each(|r| *r = None);
-        self.banks.reset();
+        self.banks.iter_mut().for_each(PriorityResource::reset);
         self.bus.reset();
+        self.queue.reset();
         self.stats = DramStats::default();
+    }
+
+    /// Enables or disables event-driven admission. In event-driven mode,
+    /// CPU ([`Requestor::Core`]) requests are admitted with demand priority
+    /// — they do not queue behind the RME's paced future reservations, the
+    /// way the PS–PL interconnect's QoS arbitration serves a CPU demand
+    /// read ahead of the PL requestor's prefetch stream. Engine
+    /// ([`Requestor::Rme`]) traffic keeps append semantics either way, so
+    /// its descriptor pacing is unchanged, and CPU requests stay FIFO among
+    /// themselves, so any run whose DRAM traffic comes from a single
+    /// requestor class is bit-identical in both modes (the differential
+    /// equivalence suite pins this). Counters never depend on the mode.
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.event_mode = on;
+    }
+
+    /// Whether event-driven admission is active.
+    pub fn event_driven(&self) -> bool {
+        self.event_mode
+    }
+
+    /// Issues a request asynchronously. The occupancy model has no request
+    /// queue to defer into, so the request is scheduled eagerly (identical
+    /// timing to [`access`](Self::access)) and only the *retrieval* of its
+    /// completion is deferred until [`drain_completions`](Self::drain_completions)
+    /// — the issue path is a timing-neutral pass-through here, which is
+    /// exactly what makes the event-driven and synchronous paths
+    /// counter-identical under this model.
+    pub fn issue(&mut self, req: MemRequest) -> RequestId {
+        let id = self.queue.next_id();
+        if req.kind == ReqKind::Write {
+            self.stats.writebacks += 1;
+        }
+        let completion = self.access(req);
+        self.queue.push(id, completion);
+        id
+    }
+
+    /// Returns every issued request whose completion finished at or before
+    /// `now`, ordered by `(finish, id)`. Each completion is returned exactly
+    /// once.
+    pub fn drain_completions(&mut self, now: SimTime) -> &[(RequestId, Completion)] {
+        self.queue.drain_due(now)
+    }
+
+    /// Drains every outstanding completion regardless of finish time (end
+    /// of a measured run).
+    pub fn drain_all(&mut self) -> &[(RequestId, Completion)] {
+        self.queue.drain_remaining()
+    }
+
+    /// Issued requests whose completions have not been drained yet.
+    pub fn outstanding(&self) -> usize {
+        self.queue.outstanding()
     }
 
     /// Services a read (or write — timing is symmetric at this level) and
@@ -184,7 +323,12 @@ impl DramController {
                     self.cfg.row_miss_latency(),
                 )
             };
-            let (bank_start, _) = self.banks.acquire_server(coord.bank, req.ready, occupancy);
+            let demand = self.event_mode && matches!(req.requestor, Requestor::Core(_));
+            let (bank_start, _) = if demand {
+                self.banks[coord.bank].acquire_demand(req.ready, occupancy)
+            } else {
+                self.banks[coord.bank].acquire(req.ready, occupancy)
+            };
             let data_ready = bank_start + latency;
             // Then stream the beats over the shared bus.
             let beats = match self.bus_shift {
@@ -192,7 +336,11 @@ impl DramController {
                 None => len.div_ceil(self.cfg.bus_bytes) as u64,
             };
             let transfer = self.cfg.beat_time * beats;
-            let (_, bus_end) = self.bus.acquire(data_ready, transfer);
+            let (_, bus_end) = if demand {
+                self.bus.acquire_demand(data_ready, transfer)
+            } else {
+                self.bus.acquire(data_ready, transfer)
+            };
 
             self.stats.accesses += 1;
             if req.kind == ReqKind::Write {
@@ -388,5 +536,62 @@ mod tests {
         let done = c.access(MemRequest::new(0, 16, ns(1_000)));
         assert!(done.start >= ns(1_000));
         assert!(done.finish > ns(1_000));
+    }
+
+    /// The asynchronous issue path schedules eagerly: the same requests
+    /// through `issue` + `drain_all` produce bit-identical completions and
+    /// stats to `access`, just retrieved later.
+    #[test]
+    fn issue_is_a_timing_neutral_pass_through() {
+        let reqs: Vec<MemRequest> = (0..32u64)
+            .map(|i| MemRequest::new(i * 48, 16, ns(i / 4)))
+            .collect();
+
+        let mut sync = ctl();
+        let expected: Vec<Completion> = reqs.iter().map(|&r| sync.access(r)).collect();
+
+        let mut evt = ctl();
+        let ids: Vec<RequestId> = reqs.iter().map(|&r| evt.issue(r)).collect();
+        assert_eq!(evt.outstanding(), reqs.len());
+        let drained: Vec<(RequestId, Completion)> = evt.drain_all().to_vec();
+        assert_eq!(evt.outstanding(), 0);
+
+        // Ids are monotone in issue order and each pairs with the same
+        // completion the synchronous path produced.
+        assert_eq!(ids, (0..reqs.len() as u64).map(RequestId).collect::<Vec<_>>());
+        for (id, completion) in &drained {
+            assert_eq!(*completion, expected[id.0 as usize]);
+        }
+        // Stats identical except the writeback attribution (all reads here).
+        assert_eq!(evt.stats(), sync.stats());
+    }
+
+    #[test]
+    fn drain_completions_releases_only_finished_requests() {
+        let mut c = ctl();
+        let early = c.issue(MemRequest::new(0, 16, SimTime::ZERO));
+        let late = c.issue(MemRequest::new(1 << 20, 16, ns(10_000)));
+        let cut = ns(5_000);
+        let first: Vec<RequestId> = c.drain_completions(cut).iter().map(|&(id, _)| id).collect();
+        assert_eq!(first, vec![early]);
+        assert_eq!(c.outstanding(), 1);
+        // Draining again at the same time yields nothing new.
+        assert!(c.drain_completions(cut).is_empty());
+        let rest: Vec<RequestId> = c.drain_all().iter().map(|&(id, _)| id).collect();
+        assert_eq!(rest, vec![late]);
+    }
+
+    #[test]
+    fn issued_writes_count_as_writebacks() {
+        let mut c = ctl();
+        c.issue(MemRequest::new(0, 64, SimTime::ZERO).as_write());
+        c.issue(MemRequest::new(64, 64, SimTime::ZERO));
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().writes, 1);
+        c.reset();
+        assert_eq!(c.outstanding(), 0, "reset clears the completion queue");
+        assert_eq!(c.stats(), &DramStats::default());
+        // Id allocation restarts after reset.
+        assert_eq!(c.issue(MemRequest::new(0, 16, SimTime::ZERO)), RequestId(0));
     }
 }

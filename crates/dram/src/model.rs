@@ -16,7 +16,7 @@ use relmem_sim::{DramConfig, MemoryModel, SimTime};
 use crate::address::AddressMapping;
 use crate::controller::{DramController, DramStats};
 use crate::controller_ca::CycleAccurateDram;
-use crate::request::{Completion, MemRequest};
+use crate::request::{Completion, MemRequest, RequestId};
 
 /// A DRAM timing model: occupancy-tracked or cycle-accurate, per
 /// [`DramConfig::model`](relmem_sim::DramConfig).
@@ -102,6 +102,72 @@ impl DramModel {
             DramModel::CycleAccurate(c) => c.bus_busy(),
         }
     }
+
+    /// Issues a request asynchronously; its completion is retrieved later
+    /// through [`drain_completions`](Self::drain_completions). Under the
+    /// occupancy model (and for reads under the cycle-accurate model) the
+    /// request is scheduled eagerly — only retrieval is deferred, which
+    /// keeps the event-driven path counter-identical to the synchronous
+    /// one. The cycle-accurate model in event-driven mode additionally
+    /// buffers writes into its cross-request FR-FCFS window.
+    pub fn issue(&mut self, req: MemRequest) -> RequestId {
+        match self {
+            DramModel::Occupancy(c) => c.issue(req),
+            DramModel::CycleAccurate(c) => c.issue(req),
+        }
+    }
+
+    /// Drains every issued request whose completion finished at or before
+    /// `now`, ordered by `(finish, id)`; under the cycle-accurate model
+    /// this first schedules any buffered writes that became ready.
+    pub fn drain_completions(&mut self, now: SimTime) -> &[(RequestId, Completion)] {
+        match self {
+            DramModel::Occupancy(c) => c.drain_completions(now),
+            DramModel::CycleAccurate(c) => c.drain_completions(now),
+        }
+    }
+
+    /// Drains every outstanding completion regardless of finish time (end
+    /// of a measured run), scheduling any still-buffered writes first.
+    pub fn drain_all(&mut self) -> &[(RequestId, Completion)] {
+        match self {
+            DramModel::Occupancy(c) => c.drain_all(),
+            DramModel::CycleAccurate(c) => c.drain_all(),
+        }
+    }
+
+    /// Issued requests whose completions have not been drained yet.
+    pub fn outstanding(&self) -> usize {
+        match self {
+            DramModel::Occupancy(c) => c.outstanding(),
+            DramModel::CycleAccurate(c) => c.outstanding(),
+        }
+    }
+
+    /// Enables or disables event-driven mode. The occupancy model switches
+    /// CPU requests to demand-priority admission (they no longer queue
+    /// behind the RME's paced future reservations); its issue path stays a
+    /// counter-neutral eager pass-through either way. The cycle-accurate
+    /// model toggles its write buffer (the cross-request FR-FCFS window).
+    pub fn set_event_driven(&mut self, on: bool) {
+        match self {
+            DramModel::Occupancy(c) => c.set_event_driven(on),
+            DramModel::CycleAccurate(c) => c.set_event_driven(on),
+        }
+    }
+
+    /// Whether dirty cache evictions should reach this model as real DRAM
+    /// writes. True only for the cycle-accurate model in event-driven mode:
+    /// that is where tWR/tWTR constraints exist to observe them, and gating
+    /// here keeps the occupancy model (every golden fixture) and the
+    /// synchronous cycle-accurate path bit-identical to their
+    /// pre-event-queue behaviour.
+    pub fn writebacks_active(&self) -> bool {
+        match self {
+            DramModel::Occupancy(_) => false,
+            DramModel::CycleAccurate(c) => c.event_driven(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +220,80 @@ mod tests {
         // The occupancy model never refreshes; the CA model's knobs exist.
         assert_eq!(o.refreshes, 0);
         assert_eq!(o.tfaw_stalls, 0);
+    }
+
+    /// The dispatcher's issue/drain path on the occupancy model matches the
+    /// synchronous access path bit for bit — the invariant the differential
+    /// equivalence suite scales up to whole-system runs.
+    #[test]
+    fn occupancy_issue_drain_matches_access() {
+        let cfg = DramConfig::default();
+        let mut sync = DramModel::new(cfg);
+        let mut evt = DramModel::new(cfg);
+        // Core-only traffic: backfill admission degenerates to FIFO, so
+        // event mode must stay bit-identical to the synchronous path.
+        evt.set_event_driven(true);
+        let mut expected = Vec::new();
+        for i in 0..64u64 {
+            let mut req = MemRequest::new(i * 80, 32, SimTime::from_nanos(i));
+            if i % 5 == 0 {
+                req = req.as_write();
+            }
+            expected.push(sync.access(req));
+            evt.issue(req);
+        }
+        assert!(!evt.writebacks_active(), "occupancy never emits writebacks");
+        let drained = evt.drain_all().to_vec();
+        assert_eq!(drained.len(), expected.len());
+        for (id, completion) in drained {
+            assert_eq!(completion, expected[id.0 as usize]);
+        }
+        // All counters but the issue-path writeback attribution agree.
+        let mut evt_stats = evt.stats().clone();
+        assert_eq!(evt_stats.writebacks, 13);
+        evt_stats.writebacks = 0;
+        assert_eq!(&evt_stats, sync.stats());
+    }
+
+    /// In event mode the cycle-accurate model defers writes but reads stay
+    /// synchronous-identical until a write enters the buffer.
+    #[test]
+    fn cycle_accurate_event_mode_defers_only_writes() {
+        let cfg = DramConfig {
+            model: MemoryModel::CycleAccurate,
+            ..DramConfig::default()
+        };
+        let mut m = DramModel::new(cfg);
+        m.set_event_driven(true);
+        assert!(m.writebacks_active());
+        m.issue(MemRequest::new(0, 64, SimTime::ZERO));
+        assert_eq!(m.stats().accesses, 1, "reads schedule eagerly");
+        m.issue(MemRequest::new(1 << 16, 64, SimTime::ZERO).as_write());
+        assert_eq!(m.stats().writes, 0, "the write waits in the buffer");
+        assert_eq!(m.outstanding(), 2);
+        m.drain_all();
+        assert_eq!(m.stats().writes, 1);
+        assert_eq!(m.outstanding(), 0);
+        // reset() keeps the mode but clears the queue.
+        m.reset();
+        assert!(m.writebacks_active());
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.stats(), &DramStats::default());
+    }
+
+    /// ReqKind round-trips through the dispatcher unchanged (guards the
+    /// write attribution the writeback path relies on).
+    #[test]
+    fn write_attribution_is_model_independent() {
+        for model in [MemoryModel::Occupancy, MemoryModel::CycleAccurate] {
+            let mut m = DramModel::new(DramConfig {
+                model,
+                ..DramConfig::default()
+            });
+            assert!(!m.access(MemRequest::new(0, 64, SimTime::ZERO)).row_hit);
+            m.access(MemRequest::new(0, 64, SimTime::ZERO).as_write());
+            assert_eq!(m.stats().writes, 1);
+            assert_eq!(m.stats().fr_fcfs_reorders, 0);
+        }
     }
 }

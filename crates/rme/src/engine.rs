@@ -24,7 +24,7 @@ use crate::config_port::ConfigPort;
 use crate::fetch_unit::FetchUnit;
 use crate::geometry::TableGeometry;
 use crate::monitor::{Lookup, MonitorBypass};
-use crate::requestor::Requestor;
+use crate::requestor::{DispatchedDescriptor, Requestor};
 use crate::revision::HwRevision;
 use crate::stats::RmeStats;
 use crate::trapper::Trapper;
@@ -43,6 +43,18 @@ pub struct RmeEngine {
     monitor: MonitorBypass,
     programmed: Option<Programmed>,
     line_bytes: usize,
+    /// Whether frames are fetched incrementally (event-driven mode): a
+    /// frame turnover generates the descriptor stream but books each
+    /// descriptor's DRAM traffic lazily, as the demand cursor reaches it,
+    /// so fetch overlaps compute line by line instead of booking the whole
+    /// frame in one step. Off (the synchronous whole-frame fetch) by
+    /// default.
+    incremental: bool,
+    /// Booking cursor of the activated frame (incremental mode only):
+    /// descriptors `[next..]` have been generated — with their dispatch
+    /// anchors frozen at activation, so booking order is the only thing
+    /// laziness changes — but not yet presented to the fetch units.
+    progress: Option<FrameProgress>,
     stats: RmeStats,
     /// Line requests served per CPU core (indexed by core, grown on
     /// demand). The engine is a shared device: requests from all cores
@@ -64,6 +76,28 @@ struct Programmed {
     visible_rows: Option<Vec<u64>>,
     /// Rows per frame (how many packed rows fit in the Data SPM).
     rows_per_frame: u64,
+}
+
+/// Lazy-booking state of the frame most recently activated in incremental
+/// mode. The full descriptor stream exists from activation (the hardware
+/// Requestor emits one descriptor per PL cycle regardless of demand); what
+/// is deferred is presenting descriptors to the Fetch Units — i.e. booking
+/// their DRAM traffic — which happens in stream order as the demand cursor
+/// advances, and is completed wholesale on frame turnover or at
+/// [`RmeEngine::finish_pending_fetch`] so the traffic totals of a run are
+/// identical to the synchronous whole-frame fetch.
+#[derive(Debug, Clone)]
+struct FrameProgress {
+    frame: u64,
+    descriptors: Vec<DispatchedDescriptor>,
+    /// Index of the first descriptor not yet booked.
+    next: usize,
+    /// Latest buffer-write completion among booked descriptors (the tail
+    /// force-complete time, as in the synchronous fetch).
+    latest: SimTime,
+    packed_row: usize,
+    rows_in_frame: usize,
+    tail_done: bool,
 }
 
 impl Programmed {
@@ -138,6 +172,8 @@ impl RmeEngine {
             hw,
             programmed: None,
             line_bytes,
+            incremental: false,
+            progress: None,
             stats: RmeStats::default(),
             per_core_requests: Vec::new(),
             per_core_service: Vec::new(),
@@ -190,6 +226,7 @@ impl RmeEngine {
         let raw = (self.hw.data_spm_bytes / packed_row).max(1);
         let rows_per_frame = ((raw / step) * step).max(step) as u64;
         self.monitor.software_reset();
+        self.progress = None;
         self.programmed = Some(Programmed {
             geometry,
             visible_rows,
@@ -282,6 +319,17 @@ impl RmeEngine {
 
         let (axi, at_pl) = self.trapper.accept(addr, ready);
 
+        // In incremental mode, bring the booking cursor up to the demanded
+        // line of the resident frame *before* the lookup classifies it: the
+        // synchronous fetch booked the whole frame at turnover, so a line
+        // the lazy cursor has not reached yet corresponds to a sync "hit
+        // whose data is still in flight". Booking it now, at its frozen
+        // dispatch anchor, keeps hit/miss accounting and completion times
+        // bit-identical to the synchronous path on identical demand streams.
+        if self.incremental && self.monitor.resident_frame() == Some(frame) {
+            self.advance_booking(frame, line_in_frame, mem, dram);
+        }
+
         let data_ready_pl = match self.monitor.lookup(frame, line_in_frame) {
             Lookup::Hit(completed_at) => {
                 self.stats.buffer_hits += 1;
@@ -289,7 +337,17 @@ impl RmeEngine {
             }
             Lookup::Miss => {
                 self.stats.buffer_misses += 1;
-                if self.monitor.frame_miss(frame) {
+                if self.incremental {
+                    // Frame turnover (or an empty-tail miss, where all of
+                    // this is a no-op): settle the outgoing frame's unbooked
+                    // descriptors before the epoch reset discards them, then
+                    // activate the new frame and book up to the demand.
+                    self.finish_frame_remainder(mem, dram);
+                    if self.monitor.frame_miss(frame) {
+                        self.activate_frame(frame, at_pl, mem, dram);
+                    }
+                    self.advance_booking(frame, line_in_frame, mem, dram);
+                } else if self.monitor.frame_miss(frame) {
                     self.fetch_frame(frame, at_pl, mem, dram);
                 }
                 let completed_at = match self.monitor.lookup(frame, line_in_frame) {
@@ -320,11 +378,28 @@ impl RmeEngine {
         let frame = p.frame_of(offset);
         if self.monitor.resident_frame() == Some(frame) {
             let in_frame = (offset - frame * p.frame_bytes()) as usize;
-            if in_frame + len <= self.monitor.buffer().capacity_bytes() {
+            if in_frame + len <= self.monitor.buffer().capacity_bytes()
+                && self.lines_complete(frame, in_frame, len)
+            {
                 return self.monitor.buffer().read_bytes(in_frame, len).to_vec();
             }
         }
         self.pack_from_memory(offset, len, mem)
+    }
+
+    /// Whether every buffer line covering `len` bytes at frame-local offset
+    /// `in_frame` has completed. Always true inside the packed data of a
+    /// synchronously fetched frame; in incremental mode a line the demand
+    /// cursor has not reached yet is still incomplete, and functional reads
+    /// must fall back to packing from memory rather than return its
+    /// half-written bytes.
+    fn lines_complete(&self, frame: u64, in_frame: usize, len: usize) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let first = in_frame / self.line_bytes;
+        let last = (in_frame + len - 1) / self.line_bytes;
+        (first..=last).all(|line| matches!(self.monitor.lookup(frame, line), Lookup::Hit(_)))
     }
 
     /// Reads up to 8 packed bytes at ephemeral address `addr` as a
@@ -338,7 +413,9 @@ impl RmeEngine {
         let mut buf = [0u8; 8];
         if self.monitor.resident_frame() == Some(frame) {
             let in_frame = (offset - frame * p.frame_bytes()) as usize;
-            if in_frame + width <= self.monitor.buffer().capacity_bytes() {
+            if in_frame + width <= self.monitor.buffer().capacity_bytes()
+                && self.lines_complete(frame, in_frame, width)
+            {
                 buf[..width].copy_from_slice(self.monitor.buffer().read_bytes(in_frame, width));
                 return u64::from_le_bytes(buf);
             }
@@ -357,6 +434,7 @@ impl RmeEngine {
         let rows = p.frame_rows(frame);
         let geometry = p.geometry.clone();
         let packed_row = geometry.packed_row_bytes();
+        self.progress = None; // prewarm materializes everything at once
         self.monitor.frame_miss(frame);
         for (packed_idx, &row) in rows.iter().enumerate() {
             for j in 0..geometry.num_columns() {
@@ -408,6 +486,7 @@ impl RmeEngine {
     pub fn software_reset(&mut self) {
         self.reset_timing();
         self.monitor.software_reset();
+        self.progress = None;
     }
 
     fn fetch_frame(
@@ -420,59 +499,193 @@ impl RmeEngine {
         let p = self.programmed.as_ref().expect("engine configured");
         let rows = p.frame_rows(frame);
         let geometry = p.geometry.clone();
-        let filtering = geometry.needs_visibility_filter();
         let packed_row = geometry.packed_row_bytes();
         self.stats.frames_fetched += 1;
-
-        // When MVCC filtering is active the engine must also inspect the
-        // version header of every source row in the frame's span, including
-        // the rows it ends up skipping. Charge that traffic first.
-        if filtering {
-            if let (Some(&first), Some(&last)) = (rows.first(), rows.last()) {
-                let span = last - first + 1;
-                self.stats.rows_filtered += span - rows.len() as u64;
-                for (k, row) in (first..=last).enumerate() {
-                    let header = crate::descriptor::Descriptor {
-                        row,
-                        column: 0,
-                        raddr: geometry.source_base + row * geometry.row_bytes as u64,
-                        rburst: geometry.mvcc_header_bytes.div_ceil(self.bus_bytes),
-                        waddr: 0,
-                        es: 0,
-                        len: 0,
-                    };
-                    let unit = k % self.fetch_units.len();
-                    let chunk =
-                        self.fetch_units[unit].process(&header, start_pl, mem, dram);
-                    self.stats.dram_beats += chunk.beats as u64;
-                }
-            }
-        }
-
+        self.charge_mvcc_headers(&geometry, &rows, start_pl, mem, dram);
         let dispatched = self.requestor.generate_frame(&geometry, &rows, start_pl);
         let mut latest = start_pl;
         for d in dispatched {
-            // Round-robin would ignore load imbalance from variable bursts;
-            // picking the unit whose reader frees first mirrors the
-            // "any idle Fetch Unit" dispatch of the paper.
-            let unit = self
-                .fetch_units
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, fu)| fu.earliest_slot())
-                .map(|(i, _)| i)
-                .expect("at least one fetch unit");
-            let chunk = self.fetch_units[unit].process(&d.descriptor, d.dispatch_at, mem, dram);
-            self.stats.dram_beats += chunk.beats as u64;
-            self.stats.useful_bytes += chunk.data.len() as u64;
-            latest = latest.max(chunk.written_at);
-            self.monitor.buffer_mut().write_chunk(
-                d.descriptor.waddr as usize,
-                &chunk.data,
-                chunk.written_at,
-            );
+            latest = latest.max(self.book_descriptor(&d, mem, dram));
         }
         self.finish_partial_tail(rows.len(), packed_row, latest);
+    }
+
+    /// MVCC visibility filtering must inspect the version header of every
+    /// source row in the frame's span, including the rows it ends up
+    /// skipping. Charged eagerly at frame activation on both fetch paths:
+    /// header inspection is what *determines* the frame's rows, so it is
+    /// not demand-elidable.
+    fn charge_mvcc_headers(
+        &mut self,
+        geometry: &TableGeometry,
+        rows: &[u64],
+        start_pl: SimTime,
+        mem: &PhysicalMemory,
+        dram: &mut DramModel,
+    ) {
+        if !geometry.needs_visibility_filter() {
+            return;
+        }
+        if let (Some(&first), Some(&last)) = (rows.first(), rows.last()) {
+            let span = last - first + 1;
+            self.stats.rows_filtered += span - rows.len() as u64;
+            for (k, row) in (first..=last).enumerate() {
+                let header = crate::descriptor::Descriptor {
+                    row,
+                    column: 0,
+                    raddr: geometry.source_base + row * geometry.row_bytes as u64,
+                    rburst: geometry.mvcc_header_bytes.div_ceil(self.bus_bytes),
+                    waddr: 0,
+                    es: 0,
+                    len: 0,
+                };
+                let unit = k % self.fetch_units.len();
+                let chunk = self.fetch_units[unit].process(&header, start_pl, mem, dram);
+                self.stats.dram_beats += chunk.beats as u64;
+            }
+        }
+    }
+
+    /// Presents one descriptor to a fetch unit and lands its data in the
+    /// Reorganization Buffer. Returns the buffer-write completion time.
+    fn book_descriptor(
+        &mut self,
+        d: &DispatchedDescriptor,
+        mem: &PhysicalMemory,
+        dram: &mut DramModel,
+    ) -> SimTime {
+        // Round-robin would ignore load imbalance from variable bursts;
+        // picking the unit whose reader frees first mirrors the
+        // "any idle Fetch Unit" dispatch of the paper.
+        let unit = self
+            .fetch_units
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, fu)| fu.earliest_slot())
+            .map(|(i, _)| i)
+            .expect("at least one fetch unit");
+        let chunk = self.fetch_units[unit].process(&d.descriptor, d.dispatch_at, mem, dram);
+        self.stats.dram_beats += chunk.beats as u64;
+        self.stats.useful_bytes += chunk.data.len() as u64;
+        self.monitor.buffer_mut().write_chunk(
+            d.descriptor.waddr as usize,
+            &chunk.data,
+            chunk.written_at,
+        );
+        chunk.written_at
+    }
+
+    /// Activates `frame` for incremental fetching: charges the eager MVCC
+    /// header traffic, generates the full descriptor stream with dispatch
+    /// anchors frozen at `start_pl`, and books *nothing* — booking follows
+    /// the demand cursor through [`advance_booking`](Self::advance_booking).
+    fn activate_frame(
+        &mut self,
+        frame: u64,
+        start_pl: SimTime,
+        mem: &PhysicalMemory,
+        dram: &mut DramModel,
+    ) {
+        let p = self.programmed.as_ref().expect("engine configured");
+        let rows = p.frame_rows(frame);
+        let geometry = p.geometry.clone();
+        let packed_row = geometry.packed_row_bytes();
+        self.stats.frames_fetched += 1;
+        self.charge_mvcc_headers(&geometry, &rows, start_pl, mem, dram);
+        let descriptors = self.requestor.generate_frame(&geometry, &rows, start_pl);
+        self.progress = Some(FrameProgress {
+            frame,
+            descriptors,
+            next: 0,
+            latest: start_pl,
+            packed_row,
+            rows_in_frame: rows.len(),
+            tail_done: false,
+        });
+    }
+
+    /// Books descriptors of the activated frame, in stream order at their
+    /// frozen anchors, until the demanded line completes (or the stream is
+    /// exhausted, which force-completes the partial tail). Prefix-monotone:
+    /// any demand order books the same descriptor prefix sequence the
+    /// synchronous whole-frame fetch would, so single-stream timing is
+    /// bit-identical to it.
+    fn advance_booking(
+        &mut self,
+        frame: u64,
+        line_in_frame: usize,
+        mem: &PhysicalMemory,
+        dram: &mut DramModel,
+    ) {
+        let Some(mut progress) = self.progress.take() else {
+            return;
+        };
+        if progress.frame != frame {
+            debug_assert!(false, "frame turnover must settle the old frame first");
+            self.progress = Some(progress);
+            return;
+        }
+        while progress.next < progress.descriptors.len()
+            && matches!(self.monitor.lookup(frame, line_in_frame), Lookup::Miss)
+        {
+            let written = self.book_descriptor(&progress.descriptors[progress.next], mem, dram);
+            progress.latest = progress.latest.max(written);
+            progress.next += 1;
+        }
+        if progress.next < progress.descriptors.len() {
+            self.progress = Some(progress);
+        } else if !progress.tail_done {
+            self.finish_partial_tail(progress.rows_in_frame, progress.packed_row, progress.latest);
+        }
+        // A fully booked frame needs no progress state: drop it.
+    }
+
+    /// Books every remaining descriptor of the activated frame at its
+    /// frozen anchor (the frame is being evicted, or the run is ending),
+    /// making the frame's total DRAM traffic identical to the synchronous
+    /// whole-frame fetch.
+    fn finish_frame_remainder(&mut self, mem: &PhysicalMemory, dram: &mut DramModel) {
+        let Some(mut progress) = self.progress.take() else {
+            return;
+        };
+        while progress.next < progress.descriptors.len() {
+            let written = self.book_descriptor(&progress.descriptors[progress.next], mem, dram);
+            progress.latest = progress.latest.max(written);
+            progress.next += 1;
+        }
+        if !progress.tail_done {
+            self.finish_partial_tail(progress.rows_in_frame, progress.packed_row, progress.latest);
+        }
+    }
+
+    /// Settles any incremental frame fetch still in flight by booking every
+    /// remaining descriptor, so a run's DRAM traffic totals are identical
+    /// to the synchronous fetch even when the run ends mid-frame. Call at
+    /// the end of a measured run (and before any timing reset); a no-op in
+    /// synchronous mode or when the resident frame is fully booked.
+    pub fn finish_pending_fetch(&mut self, mem: &PhysicalMemory, dram: &mut DramModel) {
+        self.finish_frame_remainder(mem, dram);
+    }
+
+    /// Selects incremental (event-driven) frame fetching. Flip only at a
+    /// measurement boundary: switching with a partially booked frame in
+    /// flight would silently drop its remaining traffic, so settle it via
+    /// [`finish_pending_fetch`](Self::finish_pending_fetch) first.
+    pub fn set_incremental(&mut self, on: bool) {
+        if self.incremental == on {
+            return;
+        }
+        debug_assert!(
+            self.progress.is_none(),
+            "settle the pending fetch before flipping the fetch mode"
+        );
+        self.incremental = on;
+        self.progress = None;
+    }
+
+    /// Whether incremental frame fetching is enabled.
+    pub fn incremental(&self) -> bool {
+        self.incremental
     }
 
     /// Marks the trailing, partially filled cache line of a frame complete
@@ -770,6 +983,118 @@ mod tests {
         .unwrap();
         // 13 columns (12 data + filler) exceed the 11-column limit.
         assert!(f.engine.configure(geometry, None).is_err());
+    }
+
+    /// Runs a full sequential scan (with per-line functional reads) and
+    /// returns everything observable: per-line service times, packed bytes,
+    /// engine stats and DRAM stats.
+    fn full_scan(
+        incremental: bool,
+        spm_bytes: Option<usize>,
+        mvcc: MvccConfig,
+    ) -> (Vec<SimTime>, Vec<u8>, RmeStats, relmem_dram::DramStats) {
+        let mut f = fixture(3_000, HwRevision::Mlp, mvcc);
+        if let Some(spm) = spm_bytes {
+            let mut hw = *f.engine.hw_config();
+            hw.data_spm_bytes = spm;
+            let cfg = PlatformConfig::zcu102();
+            f.engine = RmeEngine::new(hw, cfg.cdc, HwRevision::Mlp, cfg.dram.bus_bytes, 64);
+        }
+        f.engine.set_incremental(incremental);
+        let snapshot = match mvcc {
+            MvccConfig::Enabled => Some(Snapshot::at(10)),
+            MvccConfig::Disabled => None,
+        };
+        configure(&mut f, vec![0, 2], snapshot);
+        let total = f.engine.packed_total_bytes();
+        let mut now = SimTime::ZERO;
+        let mut addr = f.ephemeral_base;
+        let mut times = Vec::new();
+        let mut packed = Vec::new();
+        while addr < f.ephemeral_base + total {
+            now = f.engine.serve_line(addr, now, &f.mem, &mut f.dram);
+            times.push(now);
+            let len = 64.min((f.ephemeral_base + total - addr) as usize);
+            packed.extend(f.engine.read_packed(addr, len, &f.mem));
+            addr += 64;
+        }
+        f.engine.finish_pending_fetch(&f.mem, &mut f.dram);
+        (times, packed, f.engine.stats(), f.dram.stats().clone())
+    }
+
+    /// An incremental multi-frame scan is bit-identical to the synchronous
+    /// whole-frame fetch on single-stream traffic: prefix-monotone booking
+    /// at frozen dispatch anchors reproduces the exact same descriptor
+    /// sequence, so every service time and every counter matches.
+    #[test]
+    fn incremental_full_scan_is_bit_identical_to_synchronous() {
+        let sync = full_scan(false, Some(4 * 1024), MvccConfig::Disabled);
+        let evt = full_scan(true, Some(4 * 1024), MvccConfig::Disabled);
+        assert_eq!(sync.0, evt.0, "per-line service times must match");
+        assert_eq!(sync.1, evt.1, "packed data must match");
+        assert_eq!(sync.2, evt.2, "engine stats must match");
+        assert_eq!(sync.3, evt.3, "DRAM stats must match");
+    }
+
+    /// Same identity with MVCC filtering active: header-inspection traffic
+    /// is charged eagerly at activation on both paths.
+    #[test]
+    fn incremental_scan_matches_synchronous_under_mvcc() {
+        let sync = full_scan(false, None, MvccConfig::Enabled);
+        let evt = full_scan(true, None, MvccConfig::Enabled);
+        assert_eq!(sync.0, evt.0);
+        assert_eq!(sync.1, evt.1);
+        assert_eq!(sync.2, evt.2);
+        assert_eq!(sync.3, evt.3);
+    }
+
+    /// A scan abandoned mid-frame books less traffic up front, but
+    /// `finish_pending_fetch` settles the remainder so totals match the
+    /// synchronous fetch — the invariant whole-system runs rely on at
+    /// measurement end.
+    #[test]
+    fn abandoned_incremental_fetch_settles_to_synchronous_traffic() {
+        let run = |incremental: bool| {
+            let mut f = fixture(2_000, HwRevision::Mlp, MvccConfig::Disabled);
+            f.engine.set_incremental(incremental);
+            configure(&mut f, vec![0], None);
+            // Demand only the first quarter of the frame, then stop.
+            let total = f.engine.packed_total_bytes() / 4;
+            let mut now = SimTime::ZERO;
+            let mut addr = f.ephemeral_base;
+            while addr < f.ephemeral_base + total {
+                now = f.engine.serve_line(addr, now, &f.mem, &mut f.dram);
+                addr += 64;
+            }
+            let booked_early = f.dram.stats().accesses;
+            f.engine.finish_pending_fetch(&f.mem, &mut f.dram);
+            (booked_early, f.dram.stats().accesses, f.engine.stats())
+        };
+        let (sync_early, sync_total, sync_stats) = run(false);
+        let (evt_early, evt_total, evt_stats) = run(true);
+        assert!(
+            evt_early < sync_early,
+            "incremental mode must defer traffic ({evt_early} vs {sync_early})"
+        );
+        assert_eq!(sync_total, evt_total, "settled traffic totals must match");
+        assert_eq!(sync_stats, evt_stats);
+    }
+
+    /// Functional reads never observe a half-fetched line: bytes the demand
+    /// cursor has not reached come from the memory-packing fallback and are
+    /// still correct.
+    #[test]
+    fn incremental_reads_ahead_of_the_cursor_stay_correct() {
+        let mut f = fixture(500, HwRevision::Mlp, MvccConfig::Disabled);
+        f.engine.set_incremental(true);
+        configure(&mut f, vec![1, 3], None);
+        let total = f.engine.packed_total_bytes();
+        // Demand exactly one line, leaving the rest of the frame unbooked.
+        let _ = f
+            .engine
+            .serve_line(f.ephemeral_base, SimTime::ZERO, &f.mem, &mut f.dram);
+        let packed = f.engine.read_packed(f.ephemeral_base, total as usize, &f.mem);
+        assert_eq!(packed, reference_packed(&f, &[1, 3], None));
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub use clock::ClockDomain;
 pub use config::{
     CacheLevelConfig, CdcConfig, CpuConfig, DramConfig, MemoryModel, PlatformConfig, RmeHwConfig,
 };
-pub use resource::{MultiResource, Resource};
+pub use resource::{MultiResource, PriorityResource, Resource};
 pub use stats::{Counter, DegradeTransition, LatencyProfile, MeanStd, OverloadStats, TxnStats};
 pub use time::SimTime;
