@@ -120,6 +120,15 @@ fn render_snapshot(sys: &System, end: SimTime, cpu: SimTime, rows: u64) -> Strin
         put(&mut out, "dram.queue_stalls", dram.queue_stalls);
         put(&mut out, "dram.queue_occupancy_sum", dram.queue_occupancy_sum);
     }
+    // Writeback traffic and FR-FCFS reorders occur only on the
+    // cycle-accurate event-driven path; rendering them only when nonzero
+    // keeps every pre-event-queue fixture byte-identical.
+    if dram.writebacks > 0 {
+        put(&mut out, "dram.writebacks", dram.writebacks);
+    }
+    if dram.fr_fcfs_reorders > 0 {
+        put(&mut out, "dram.fr_fcfs_reorders", dram.fr_fcfs_reorders);
+    }
     out
 }
 
@@ -348,6 +357,63 @@ fn golden_workload_htap_2core() {
         "workload_htap_2core",
         &render_snapshot(&sys, run.end, run.cpu, run.rows),
     );
+}
+
+/// An update-heavy point stream on the cycle-accurate model: the working
+/// set overflows the L2, so dirty lines are evicted mid-stream and the
+/// event-driven completion queue turns those evictions into real DRAM
+/// writes scheduled through the FR-FCFS write buffer. This is the first
+/// fixture where `dram.writebacks` (and, when the buffer reorders,
+/// `dram.fr_fcfs_reorders`) appear.
+#[test]
+fn golden_update_heavy_ca_event() {
+    const BIG_ROWS: u64 = 40_000;
+    let mut config = SystemConfig {
+        cores: 1,
+        mem_bytes: 16 << 20,
+        ..SystemConfig::default()
+    };
+    config.platform.dram.model = relmem_sim::MemoryModel::CycleAccurate;
+    let mut sys = System::with_config(config);
+    assert!(sys.event_driven(), "event-driven mode is the default");
+    let schema = Schema::benchmark(4, 4, 64);
+    let mut table = sys
+        .create_table(schema, BIG_ROWS, MvccConfig::Disabled)
+        .unwrap();
+    DataGen::new(SEED)
+        .fill_table(sys.mem_mut(), &mut table, BIG_ROWS)
+        .unwrap();
+    let columns = [1usize];
+    let ops: Vec<WorkloadOp> = (0..30_000u64)
+        .map(|i| {
+            let row = i.wrapping_mul(2654435761) % BIG_ROWS;
+            if i % 2 == 0 {
+                WorkloadOp::PointUpdate {
+                    table: &table,
+                    row,
+                    column: 1,
+                    value: i,
+                }
+            } else {
+                WorkloadOp::PointLookup {
+                    table: &table,
+                    columns: &columns,
+                    row,
+                }
+            }
+        })
+        .collect();
+    let workload = Workload::new(vec![QueryStream::new(ops)]);
+    sys.begin_measurement(AccessPath::DirectRowWise);
+    let run = sys
+        .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
+        .expect("valid workload");
+    let snapshot = render_snapshot(&sys, run.end, run.cpu, run.rows);
+    assert!(
+        snapshot.contains("dram.writebacks"),
+        "writeback traffic must appear in this fixture"
+    );
+    check_golden("update_heavy_ca_event", &snapshot);
 }
 
 /// Appends the run's transaction accounting to a snapshot, so the fixture
