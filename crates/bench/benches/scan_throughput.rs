@@ -93,6 +93,36 @@ fn best(secs: &[f64]) -> f64 {
     secs.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
+/// The canonical full-run row count; the unsuffixed `BENCH_*.json` names
+/// are reserved for measurements at (at least) this scale.
+const FULL_ROWS: u64 = 1_000_000;
+
+/// Writes a bench report, refusing to clobber a canonical full-run JSON
+/// with a reduced-scale one. Quick runs always target `.quick.json`
+/// siblings; additionally, a down-scaled `--rows` run (without `--quick`)
+/// must not silently replace a committed full-run record with numbers
+/// measured at an incomparable scale.
+fn write_report(out: &str, json: &str, quick: bool, rows: u64) {
+    let full_dest = !out.ends_with(".quick.json");
+    assert!(
+        !(full_dest && quick),
+        "refusing to overwrite full-run {out} with a --quick run"
+    );
+    if full_dest && rows < FULL_ROWS {
+        if let Ok(existing) = std::fs::read_to_string(out) {
+            if existing.contains("\"quick\": false") {
+                eprintln!(
+                    "refusing to overwrite the full-run record {out} (rows >= {FULL_ROWS}) \
+                     with a --rows {rows} run; pass --quick to write the .quick.json sibling"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    std::fs::write(out, json).expect("write scan_throughput report");
+    println!("wrote {out}");
+}
+
 /// Renders the wall-clock spread of one measurement as a JSON object
 /// (mean/min/max/stddev seconds), via the vendored criterion's
 /// [`SampleStats`].
@@ -106,6 +136,39 @@ fn wall_stats_json(secs: &[f64]) -> String {
         stats.max.as_secs_f64(),
         stats.stddev.as_secs_f64(),
         stats.iters
+    )
+}
+
+/// One extra instrumented rep (miss-path profiling enabled) rendering the
+/// per-phase attribution as a JSON `breakdown` object. The rep runs
+/// *after* the headline samples with profiling switched on only for its
+/// duration, so guard costs never contaminate the throughput numbers. The
+/// instrumented wall time, the unattributed remainder (hit fast path,
+/// value reads, the per-row closure) and the calibrated per-guard
+/// overhead are reported alongside the phase shares, so the attribution
+/// is inspectable rather than a black box.
+fn breakdown_json(sys: &mut System, source: &ScanSource<'_>) -> String {
+    use relmem_cache::profile;
+    profile::reset();
+    profile::set_enabled(true);
+    let (wall, ..) = timed_scan(sys, source, false);
+    profile::set_enabled(false);
+    let report = profile::report();
+    let mut phases = String::new();
+    for (i, name) in profile::PHASE_NAMES.iter().enumerate() {
+        let p = report.phases[i];
+        phases.push_str(&format!(
+            "    \"{name}\": {{ \"seconds\": {:.6}, \"entries\": {} }},\n",
+            p.seconds, p.entries
+        ));
+    }
+    let attributed = report.attributed_seconds();
+    format!(
+        "{{\n{phases}    \"other_seconds\": {:.6},\n    \
+         \"instrumented_wall_secs\": {wall:.6},\n    \
+         \"guard_overhead_seconds\": {:.3e}\n  }}",
+        (wall - attributed).max(0.0),
+        report.guard_overhead_seconds
     )
 }
 
@@ -217,6 +280,7 @@ fn run_multicore(rows: u64, reps: usize, quick: bool, cores: usize) {
     let json = format!(
         "{{\n  \"bench\": \"scan_throughput_multicore\",\n  \"rows\": {rows},\n  \
          \"columns\": {},\n  \"cores\": {cores},\n  \
+         \"quick\": {quick},\n  \"reps\": {reps},\n  \
          \"simulated_end_1core_ns\": {:.1},\n  \
          \"simulated_end_ns\": {:.1},\n  \
          \"aggregate_sim_throughput_scaling\": {scaling:.3},\n  \
@@ -236,8 +300,7 @@ fn run_multicore(rows: u64, reps: usize, quick: bool, cores: usize) {
         "{}/../../BENCH_scan_throughput.cores{cores}{suffix}.json",
         env!("CARGO_MANIFEST_DIR")
     );
-    std::fs::write(&out, &json).expect("write scan_throughput multicore report");
-    println!("wrote {out}");
+    write_report(&out, &json, quick, rows);
 }
 
 /// The `--model ca` variant: the same optimized scan under the occupancy
@@ -296,6 +359,7 @@ fn run_model_comparison(rows: u64, reps: usize, quick: bool) {
     let json = format!(
         "{{\n  \"bench\": \"scan_throughput_model\",\n  \"rows\": {rows},\n  \
          \"columns\": {},\n  \
+         \"quick\": {quick},\n  \"reps\": {reps},\n  \
          \"occupancy_fields_per_sec\": {occ_rate:.1},\n  \
          \"cycle_accurate_fields_per_sec\": {ca_rate:.1},\n  \
          \"fidelity_wall_slowdown\": {slowdown:.3},\n  \
@@ -324,8 +388,7 @@ fn run_model_comparison(rows: u64, reps: usize, quick: bool) {
         "{}/../../BENCH_scan_throughput.ca{suffix}.json",
         env!("CARGO_MANIFEST_DIR")
     );
-    std::fs::write(&out, &json).expect("write scan_throughput model report");
-    println!("wrote {out}");
+    write_report(&out, &json, quick, rows);
 }
 
 fn main() {
@@ -482,8 +545,12 @@ fn main() {
     println!("  speedup vs baseline:   {speedup:.2}x  (simulated output bit-identical)");
     println!("  speedup vs naive loop: {loop_speedup:.2}x");
 
+    // One extra instrumented rep for the miss-path phase attribution.
+    let breakdown = breakdown_json(&mut sys, &source);
+
     let json = format!(
         "{{\n  \"bench\": \"scan_throughput\",\n  \"rows\": {rows},\n  \"columns\": {},\n  \
+         \"quick\": {quick},\n  \"reps\": {reps},\n  \
          \"simulated_field_accesses\": {fields},\n  \
          \"optimized_fields_per_sec\": {opt_rate:.1},\n  \
          \"naive_loop_fields_per_sec\": {naive_rate:.1},\n  \
@@ -493,6 +560,7 @@ fn main() {
          \"optimized_wall_secs\": {},\n  \
          \"naive_loop_wall_secs\": {},\n  \
          \"baseline_wall_secs\": {},\n  \
+         \"breakdown\": {breakdown},\n  \
          \"outputs_identical\": true\n}}\n",
         COLUMNS.len(),
         wall_stats_json(&opt_samples),
@@ -511,6 +579,5 @@ fn main() {
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan_throughput.json")
     };
-    std::fs::write(out, &json).expect("write scan_throughput report");
-    println!("wrote {out}");
+    write_report(out, &json, quick, rows);
 }

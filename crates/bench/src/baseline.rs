@@ -4,10 +4,11 @@
 //! The optimized hot path replaced, layer by layer:
 //!
 //! * `Vec<Vec<u64>>` per-set cache tags with `position()` + `remove`/
-//!   `insert` MRU shifting → flat set-major tag array with recency stamps,
+//!   `insert` MRU shifting → flat set-major tag array with per-way byte
+//!   recency ranks,
 //! * `HashMap<u64, SimTime>` pending-prefetch map (SipHash, threshold
-//!   `retain` purge) → open-addressed [`relmem_cache`] `LineMap` with
-//!   eviction-time removal,
+//!   `retain` purge) → a [`relmem_cache`] slot-indexed arrival array
+//!   addressed by the locating set walk itself,
 //! * `Vec<SimTime>` in-flight MSHRs with `retain` + `min_by_key` → the
 //!   fixed-capacity `MissSlots` pool,
 //! * a heap-allocated `Vec<u64>` of prefetch targets per L1 miss → an

@@ -8,28 +8,50 @@
 //!
 //! # Layout
 //!
-//! Tags live in one flat, set-major `Vec<u64>` (`tags[set * assoc + way]`)
-//! with a parallel packed array of per-way recency stamps (`stamps`). A
+//! Tags live in one flat, set-major `Vec<u32>` (`tags[set * assoc + way]`)
+//! with a parallel packed array of per-way recency ranks (`ranks`). A
 //! lookup touches one contiguous `assoc`-sized slice — no per-set `Vec`
 //! allocations, no `remove`/`insert` element shifting — which is what lets
 //! `System::scan` simulate millions of field accesses per wall-second.
 //!
-//! Recency is a monotonically increasing stamp written on every touch:
-//! "promote to MRU" is a single store instead of re-ranking the set, and
-//! the eviction victim is the occupied way with the smallest stamp. Stamps
-//! are strictly increasing, so the stamp order *is* the recency order the
-//! previous `Vec<Vec<u64>>` representation kept positionally — replacement
-//! decisions (and therefore all downstream timing and statistics) are
-//! bit-identical, which `flat_tags_match_vec_of_vecs_reference` below
-//! asserts against a faithful reimplementation of the old structure.
+//! Tags are stored *set-relative*: `tag = line_number / sets`, so a 16-way
+//! set is one 64-byte cache line of `u32`s and the branchless set walk
+//! vectorises twice as wide as the previous full-`u64`-address layout. The
+//! stored tag uniquely identifies the line within its set
+//! (`line_number = tag * sets + set`), so evicted line addresses are
+//! reconstructed exactly. Set-relative tags fit `u32` for every real
+//! geometry including the ephemeral region (base `1 << 40`, line number
+//! `2^34`, over ≥ 64 sets a tag of at most `2^28`); the walk asserts the
+//! bound so an address outside it can never silently alias.
+//!
+//! Recency is a per-set permutation of byte *ranks* (`ranks[set * assoc +
+//! way]`, higher = more recent): "promote to MRU" rewrites the set's
+//! `assoc` rank bytes (a single SIMD compare/decrement for the real
+//! geometries), and the eviction victim is the lowest-index empty way if
+//! one exists, else the rank-0 (least-recent) way. An earlier revision
+//! kept a `u64` recency stamp per way instead; ranks hold the exact same
+//! ordering in one-eighth the bytes (a 16-way set is 16 rank bytes, not
+//! two cache lines of stamps), which is what the host's cache sees on
+//! every set walk of a multi-megabyte simulated scan. Rank order *is* the
+//! recency order the seed's `Vec<Vec<u64>>` representation kept
+//! positionally — replacement decisions (and therefore all downstream
+//! timing and statistics) are bit-identical, which
+//! `flat_tags_match_vec_of_vecs_reference` below asserts against a
+//! faithful reimplementation of the old structure.
 
 use relmem_sim::CacheLevelConfig;
 
 use crate::stats::CacheLevelStats;
 
-/// Sentinel marking an unoccupied way. Real line addresses are aligned to
-/// the (power-of-two, ≥ 2) line size, so `u64::MAX` can never collide.
-const EMPTY: u64 = u64::MAX;
+/// Sentinel marking an unoccupied way. The tag walk asserts every real
+/// set-relative tag stays below it, so it can never collide.
+const EMPTY: u32 = u32::MAX;
+
+/// Entries in the walk memo (see [`Cache::probe_else_fill_dirty_slot`]):
+/// enough that a prefetcher running its degree (4) ahead of the demand
+/// stream — per tracked stream — still finds its install slot memoized
+/// when the demand catches up.
+const MEMO_WAYS: usize = 16;
 
 /// A set-associative, true-LRU, tag-only cache.
 #[derive(Debug, Clone)]
@@ -42,19 +64,35 @@ pub struct Cache {
     /// `sets - 1` when the set count is a power of two (the common case);
     /// lets the set index be a mask instead of a modulo.
     set_mask: Option<u64>,
-    /// Flat set-major tag array: `tags[set * assoc + way]`.
-    tags: Vec<u64>,
-    /// Recency stamps parallel to `tags`; larger is more recent. Only
-    /// meaningful for occupied ways.
-    stamps: Vec<u64>,
+    /// `log2(sets)`; only meaningful when `set_mask` is `Some`.
+    set_shift: u32,
+    /// Flat set-major array of set-relative tags (`line_number / sets`):
+    /// `tags[set * assoc + way]`.
+    tags: Vec<u32>,
+    /// Per-set recency permutation parallel to `tags`:
+    /// `ranks[set * assoc + way]` is the way's recency rank within its
+    /// set (0 = least recent, `assoc - 1` = MRU). Every set's ranks are
+    /// a permutation of `0..assoc` at all times; ranks of empty ways are
+    /// placeholders that keep the permutation closed (victim selection
+    /// prefers empty ways by tag, never by rank).
+    ranks: Vec<u8>,
     /// Dirty bits parallel to `tags`: set by [`mark_dirty`](Self::mark_dirty)
     /// (a CPU write touched the line), cleared on install. Dirty state never
     /// influences lookup or replacement — it only reports whether an evicted
     /// line owes the backend a writeback — so tracking it is unobservable to
     /// every caller that never asks.
     dirty: Vec<bool>,
-    /// Source of strictly increasing recency stamps.
-    tick: u64,
+    /// Direct-mapped memo of recent
+    /// [`probe_else_fill_dirty_slot`](Self::probe_else_fill_dirty_slot)
+    /// results: line number → flat way slot, indexed by the line number's
+    /// low bits. Entries are *hints*, verified against the tag store
+    /// before use, so they never need invalidating — a stale slot simply
+    /// fails the tag check and the full set walk runs. The payoff is the
+    /// prefetch-then-demand pattern: the demand lookup lands on exactly
+    /// the slot the prefetch installed a few lines earlier and skips the
+    /// set scan for a single tag compare.
+    memo_lines: [u64; MEMO_WAYS],
+    memo_slots: [u32; MEMO_WAYS],
     stats: CacheLevelStats,
 }
 
@@ -69,6 +107,10 @@ impl Cache {
         assert!(sets >= 1, "cache must have at least one set");
         assert!(cfg.associativity >= 1, "cache must have at least one way");
         assert!(
+            cfg.associativity <= 256,
+            "byte recency ranks support at most 256 ways"
+        );
+        assert!(
             cfg.line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
@@ -79,13 +121,24 @@ impl Cache {
             set_mask: sets
                 .is_power_of_two()
                 .then_some(sets as u64 - 1),
+            set_shift: sets.trailing_zeros(),
             tags: vec![EMPTY; sets * cfg.associativity],
-            stamps: vec![0; sets * cfg.associativity],
+            ranks: Self::identity_ranks(sets, cfg.associativity),
             dirty: vec![false; sets * cfg.associativity],
-            tick: 0,
+            // `u64::MAX` is not a reachable line number (line numbers are
+            // addresses shifted right), so fresh entries can never verify.
+            memo_lines: [u64::MAX; MEMO_WAYS],
+            memo_slots: [0; MEMO_WAYS],
             cfg,
             stats: CacheLevelStats::default(),
         }
+    }
+
+    /// The initial rank permutation: `ranks[way] = way` in every set, so
+    /// an empty cache fills ways in index order (matching both the old
+    /// stamp scheme's all-zero tie-break and the seed's `Vec` push order).
+    fn identity_ranks(sets: usize, assoc: usize) -> Vec<u8> {
+        (0..sets * assoc).map(|i| (i % assoc) as u8).collect()
     }
 
     /// The cache's configuration.
@@ -99,6 +152,9 @@ impl Cache {
         addr & !(self.cfg.line_bytes as u64 - 1)
     }
 
+    /// Set base index of a line address (the tag-free half of
+    /// [`locate`](Self::locate); kept for tests that check set mapping).
+    #[cfg(test)]
     #[inline]
     fn set_base(&self, line_addr: u64) -> usize {
         let line_number = line_addr >> self.line_shift;
@@ -109,20 +165,54 @@ impl Cache {
         set as usize * self.assoc
     }
 
-    /// Index of the way holding `line` in the set starting at `base`.
+    /// Splits a line address into its set's base index and its
+    /// set-relative tag. The tag uniquely identifies the line within the
+    /// set (`line_number = tag * sets + set`), so nothing is lost by not
+    /// storing the full address.
+    ///
+    /// # Panics
+    /// Panics if the set-relative tag does not fit below the `u32` empty
+    /// sentinel — truncation could silently alias two distant lines, so
+    /// the bound is a hard assert (one predictable branch per walk).
+    #[inline(always)]
+    fn locate(&self, line_addr: u64) -> (usize, u32) {
+        let line_number = line_addr >> self.line_shift;
+        let (set, tag) = match self.set_mask {
+            Some(mask) => (line_number & mask, line_number >> self.set_shift),
+            None => (
+                line_number % self.sets as u64,
+                line_number / self.sets as u64,
+            ),
+        };
+        assert!(
+            tag < EMPTY as u64,
+            "line address {line_addr:#x} exceeds the u32 set-relative tag range"
+        );
+        (set as usize * self.assoc, tag as u32)
+    }
+
+    /// Reconstructs the line address stored as `tag` in the set whose base
+    /// index is `base` (the exact inverse of [`locate`](Self::locate)).
+    #[inline(always)]
+    fn line_of(&self, base: usize, tag: u32) -> u64 {
+        let set = (base / self.assoc) as u64;
+        (tag as u64 * self.sets as u64 + set) << self.line_shift
+    }
+
+    /// Index of the way holding `tag` in the set starting at `base`.
     /// Branchless full-set scan: no early exit, so the compiler can unroll
-    /// and vectorise it (a set is one or two cache lines of tags). The two
-    /// associativities real configurations use (4-way L1, 16-way L2) get
-    /// fixed-trip-count instantiations of the single shared body, which
-    /// LLVM turns into SIMD.
-    #[inline]
-    fn find_way(&self, base: usize, line: u64) -> Option<usize> {
+    /// and vectorise it (a 16-way set of `u32` tags is exactly one cache
+    /// line). The two associativities real configurations use (4-way L1,
+    /// 16-way L2) get fixed-trip-count instantiations of the single shared
+    /// body, which LLVM turns into SIMD.
+    #[inline(always)]
+    fn find_way(&self, base: usize, tag: u32) -> Option<usize> {
         // One body for every arm: a literal slice scan.
         macro_rules! scan {
             ($set:expr) => {{
                 let mut found = usize::MAX;
-                for (way, &tag) in $set.iter().enumerate() {
-                    if tag == line {
+                for (way, &t) in $set.iter().enumerate() {
+                    if t == tag {
                         found = way;
                     }
                 }
@@ -131,43 +221,260 @@ impl Cache {
         }
         let set = &self.tags[base..base + self.assoc];
         match self.assoc {
-            16 => scan!(<&[u64; 16]>::try_from(set).expect("16-way set")),
-            4 => scan!(<&[u64; 4]>::try_from(set).expect("4-way set")),
+            16 => scan!(<&[u32; 16]>::try_from(set).expect("16-way set")),
+            4 => scan!(<&[u32; 4]>::try_from(set).expect("4-way set")),
             _ => scan!(set),
         }
     }
 
-    /// The eviction candidate of a set: the way with the smallest stamp.
-    /// Empty ways keep stamp 0 (below every real stamp, which start at 1),
-    /// so a single branchless min over the stamp array prefers empty ways
-    /// and otherwise picks the least-recently-used — no tag reads at all.
-    #[inline]
-    fn victim_way(&self, base: usize) -> usize {
-        macro_rules! arg_min {
-            ($stamps:expr) => {{
+    /// One pass over a set's tags reporting both the way holding `tag`
+    /// and the lowest-index empty way (each if any) — the fused form of
+    /// `find_way` plus the empty half of victim selection, so a miss+fill
+    /// walk scans the tag line exactly once. The fixed-associativity arms
+    /// reduce to two branchless lane masks decoded with `trailing_zeros`,
+    /// which naturally picks the lowest index, matching the old stamp
+    /// scheme's "smallest stamp, lowest index on ties" rule (empty ways
+    /// held stamp 0 there, below every real stamp). On x86-64 the 16-way
+    /// arm is explicit SSE2 (baseline on that architecture): four
+    /// compare/movemask rounds against each needle instead of a 16-step
+    /// scalar reduction.
+    #[inline(always)]
+    fn scan_set(&self, base: usize, tag: u32) -> (Option<usize>, Option<usize>) {
+        let set = &self.tags[base..base + self.assoc];
+        let (match_mask, empty_mask) = match self.assoc {
+            16 => Self::scan16(<&[u32; 16]>::try_from(set).expect("16-way set"), tag),
+            4 => Self::scan4(<&[u32; 4]>::try_from(set).expect("4-way set"), tag),
+            // Arbitrary associativities (tests go up to 256 ways, past the
+            // mask width) take plain first-index scans.
+            _ => {
+                return (
+                    set.iter().position(|&t| t == tag),
+                    set.iter().position(|&t| t == EMPTY),
+                )
+            }
+        };
+        (
+            (match_mask != 0).then(|| match_mask.trailing_zeros() as usize),
+            (empty_mask != 0).then(|| empty_mask.trailing_zeros() as usize),
+        )
+    }
+
+    /// Lane masks of `tag` matches and empty ways over a 16-way set.
+    #[cfg(target_arch = "x86_64")]
+    #[inline(always)]
+    fn scan16(set: &[u32; 16], tag: u32) -> (u32, u32) {
+        // SAFETY: SSE2 is part of the x86-64 baseline ABI, and the four
+        // 16-byte loads cover exactly the 64-byte tag array.
+        unsafe {
+            use std::arch::x86_64::*;
+            let needle = _mm_set1_epi32(tag as i32);
+            let empty = _mm_set1_epi32(EMPTY as i32);
+            let p = set.as_ptr() as *const __m128i;
+            let mut match_mask = 0u32;
+            let mut empty_mask = 0u32;
+            for i in 0..4 {
+                let v = _mm_loadu_si128(p.add(i));
+                let m = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, needle)));
+                let e = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, empty)));
+                match_mask |= (m as u32) << (4 * i);
+                empty_mask |= (e as u32) << (4 * i);
+            }
+            (match_mask, empty_mask)
+        }
+    }
+
+    /// Portable fallback for [`scan16`](Self::scan16).
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline(always)]
+    fn scan16(set: &[u32; 16], tag: u32) -> (u32, u32) {
+        let mut match_mask = 0u32;
+        let mut empty_mask = 0u32;
+        for (way, &t) in set.iter().enumerate() {
+            match_mask |= u32::from(t == tag) << way;
+            empty_mask |= u32::from(t == EMPTY) << way;
+        }
+        (match_mask, empty_mask)
+    }
+
+    /// Lane masks of `tag` matches and empty ways over a 4-way set — the
+    /// whole set is exactly one SSE register.
+    #[cfg(target_arch = "x86_64")]
+    #[inline(always)]
+    fn scan4(set: &[u32; 4], tag: u32) -> (u32, u32) {
+        // SAFETY: SSE2 is part of the x86-64 baseline ABI; the single
+        // 16-byte load covers exactly the 16-byte tag array.
+        unsafe {
+            use std::arch::x86_64::*;
+            let v = _mm_loadu_si128(set.as_ptr() as *const __m128i);
+            let m = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(
+                v,
+                _mm_set1_epi32(tag as i32),
+            )));
+            let e = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(
+                v,
+                _mm_set1_epi32(EMPTY as i32),
+            )));
+            (m as u32, e as u32)
+        }
+    }
+
+    /// Portable fallback for [`scan4`](Self::scan4).
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline(always)]
+    fn scan4(set: &[u32; 4], tag: u32) -> (u32, u32) {
+        let mut match_mask = 0u32;
+        let mut empty_mask = 0u32;
+        for (way, &t) in set.iter().enumerate() {
+            match_mask |= u32::from(t == tag) << way;
+            empty_mask |= u32::from(t == EMPTY) << way;
+        }
+        (match_mask, empty_mask)
+    }
+
+    /// Fused victim selection + MRU promotion for a *full* set: the
+    /// permutation rotates — every rank slides down one and the rank-0
+    /// (least-recent) way wraps to the top — and the way that held rank 0
+    /// is returned as the victim. One compare/decrement pass, no separate
+    /// "find the LRU way" scan.
+    #[inline(always)]
+    fn rotate_lru(&mut self, base: usize) -> usize {
+        macro_rules! rotate {
+            ($set:expr) => {{
+                let set = $set;
+                let top = (self.assoc - 1) as u8;
                 let mut victim = 0usize;
-                let mut best = u64::MAX;
-                for (way, &stamp) in $stamps.iter().enumerate() {
-                    if stamp < best {
-                        best = stamp;
+                for (way, r) in set.iter_mut().enumerate() {
+                    if *r == 0 {
                         victim = way;
+                        *r = top;
+                    } else {
+                        *r -= 1;
                     }
                 }
                 victim
             }};
         }
-        let stamps = &self.stamps[base..base + self.assoc];
+        let set = &mut self.ranks[base..base + self.assoc];
         match self.assoc {
-            16 => arg_min!(<&[u64; 16]>::try_from(stamps).expect("16-way set")),
-            4 => arg_min!(<&[u64; 4]>::try_from(stamps).expect("4-way set")),
-            _ => arg_min!(stamps),
+            16 => Self::rotate16(<&mut [u8; 16]>::try_from(set).expect("16-way set")),
+            4 => rotate!(<&mut [u8; 4]>::try_from(set).expect("4-way set")),
+            _ => rotate!(set),
         }
     }
 
-    #[inline]
-    fn next_tick(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
+    /// [`rotate_lru`](Self::rotate_lru) for a 16-way set: one SSE2 round —
+    /// find the zero lane with compare/movemask, decrement everything, and
+    /// blend the top rank into the zero lane.
+    #[cfg(target_arch = "x86_64")]
+    #[inline(always)]
+    fn rotate16(set: &mut [u8; 16]) -> usize {
+        // SAFETY: SSE2 is part of the x86-64 baseline ABI; the load and
+        // store cover exactly the 16-byte rank array.
+        unsafe {
+            use std::arch::x86_64::*;
+            let p = set.as_mut_ptr() as *mut __m128i;
+            let v = _mm_loadu_si128(p);
+            let is_zero = _mm_cmpeq_epi8(v, _mm_setzero_si128());
+            let victim = (_mm_movemask_epi8(is_zero) as u32).trailing_zeros() as usize;
+            let dec = _mm_sub_epi8(v, _mm_set1_epi8(1));
+            let top = _mm_set1_epi8(15);
+            let rotated = _mm_or_si128(
+                _mm_andnot_si128(is_zero, dec),
+                _mm_and_si128(is_zero, top),
+            );
+            _mm_storeu_si128(p, rotated);
+            victim
+        }
+    }
+
+    /// Portable fallback for [`rotate16`](Self::rotate16).
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline(always)]
+    fn rotate16(set: &mut [u8; 16]) -> usize {
+        let mut victim = 0usize;
+        for (way, r) in set.iter_mut().enumerate() {
+            if *r == 0 {
+                victim = way;
+                *r = 15;
+            } else {
+                *r -= 1;
+            }
+        }
+        victim
+    }
+
+    /// The way a fill should install into: the lowest-index empty way
+    /// (already promoted to MRU here) if the tag scan found one, else the
+    /// LRU way via the rotation. Callers overwrite the returned way's tag.
+    #[inline(always)]
+    fn claim_victim(&mut self, base: usize, first_empty: Option<usize>) -> usize {
+        match first_empty {
+            Some(way) => {
+                self.touch(base, way);
+                way
+            }
+            None => self.rotate_lru(base),
+        }
+    }
+
+    /// Promotes `way` to MRU within its set: every way ranked above it
+    /// slides down one, and it takes the top rank — the permutation
+    /// analogue of the seed's `Vec::remove` + `insert(0)`. One compare/
+    /// decrement pass over `assoc` bytes, which LLVM vectorises for the
+    /// fixed 4- and 16-way instantiations below.
+    #[inline(always)]
+    fn touch(&mut self, base: usize, way: usize) {
+        macro_rules! promote {
+            ($set:expr) => {{
+                let set = $set;
+                let r = set[way];
+                for rank in set.iter_mut() {
+                    if *rank > r {
+                        *rank -= 1;
+                    }
+                }
+                set[way] = (self.assoc - 1) as u8;
+            }};
+        }
+        let set = &mut self.ranks[base..base + self.assoc];
+        match self.assoc {
+            16 => Self::promote16(<&mut [u8; 16]>::try_from(set).expect("16-way set"), way),
+            4 => promote!(<&mut [u8; 4]>::try_from(set).expect("4-way set")),
+            _ => promote!(set),
+        }
+    }
+
+    /// [`touch`](Self::touch) for a 16-way set: SSE2 compare-greater gives
+    /// a −1 mask on the lanes ranked above the touched way, so adding the
+    /// mask decrements exactly those lanes in one round. Rank values stay
+    /// below 16, far inside `i8` range, so the signed compare is exact.
+    #[cfg(target_arch = "x86_64")]
+    #[inline(always)]
+    fn promote16(set: &mut [u8; 16], way: usize) {
+        // SAFETY: SSE2 is part of the x86-64 baseline ABI; the load and
+        // store cover exactly the 16-byte rank array.
+        unsafe {
+            use std::arch::x86_64::*;
+            let r = set[way];
+            let p = set.as_mut_ptr() as *mut __m128i;
+            let v = _mm_loadu_si128(p);
+            let above = _mm_cmpgt_epi8(v, _mm_set1_epi8(r as i8));
+            _mm_storeu_si128(p, _mm_add_epi8(v, above));
+            set[way] = 15;
+        }
+    }
+
+    /// Portable fallback for [`promote16`](Self::promote16).
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline(always)]
+    fn promote16(set: &mut [u8; 16], way: usize) {
+        let r = set[way];
+        for rank in set.iter_mut() {
+            if *rank > r {
+                *rank -= 1;
+            }
+        }
+        set[way] = 15;
     }
 
     /// Residency probe that refreshes the line's recency on a hit but does
@@ -176,11 +483,10 @@ impl Cache {
     /// [`HierarchyStats`](crate::stats::HierarchyStats).
     #[inline]
     pub fn probe(&mut self, addr: u64) -> bool {
-        let line = self.line_addr(addr);
-        let base = self.set_base(line);
-        match self.find_way(base, line) {
+        let (base, tag) = self.locate(self.line_addr(addr));
+        match self.find_way(base, tag) {
             Some(way) => {
-                self.stamps[base + way] = self.next_tick();
+                self.touch(base, way);
                 true
             }
             None => false,
@@ -203,8 +509,8 @@ impl Cache {
 
     /// Checks residency without updating LRU order or counters.
     pub fn peek(&self, addr: u64) -> bool {
-        let line = self.line_addr(addr);
-        self.find_way(self.set_base(line), line).is_some()
+        let (base, tag) = self.locate(self.line_addr(addr));
+        self.find_way(base, tag).is_some()
     }
 
     /// One-walk combination of [`probe`](Self::probe) and
@@ -216,23 +522,21 @@ impl Cache {
     /// between the lookup and the fill (which is the case in the
     /// hierarchy: prefetches only touch the L2, demand fills only follow
     /// their own lookup).
-    #[inline]
+    #[inline(always)]
     pub fn probe_else_fill(&mut self, addr: u64) -> Option<Option<u64>> {
-        let line = self.line_addr(addr);
-        let base = self.set_base(line);
-        // Pass 1: residency. A tight tags-only scan — the hit case (the
-        // overwhelming majority of walks) never touches the stamp array.
-        if let Some(way) = self.find_way(base, line) {
-            self.stamps[base + way] = self.next_tick();
+        let (base, tag) = self.locate(self.line_addr(addr));
+        // One tag-line scan answers both residency and (on a miss) where
+        // to install.
+        let (found, first_empty) = self.scan_set(base, tag);
+        if let Some(way) = found {
+            self.touch(base, way);
             return None;
         }
-        // Pass 2 (miss only): pick an empty way, else the least-recent.
-        let victim = self.victim_way(base);
+        let victim = self.claim_victim(base, first_empty);
         let old = self.tags[base + victim];
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.next_tick();
+        self.tags[base + victim] = tag;
         self.dirty[base + victim] = false;
-        Some((old != EMPTY).then_some(old))
+        Some((old != EMPTY).then(|| self.line_of(base, old)))
     }
 
     /// Like [`probe_else_fill`](Self::probe_else_fill), but reports the
@@ -240,19 +544,65 @@ impl Cache {
     /// for levels that owe the backend writebacks of dirty victims.
     #[inline]
     pub fn probe_else_fill_dirty(&mut self, addr: u64) -> Option<(Option<u64>, bool)> {
+        self.probe_else_fill_dirty_slot(addr).1
+    }
+
+    /// [`probe_else_fill_dirty`](Self::probe_else_fill_dirty) exposing the
+    /// touched way's flat slot index (`set * assoc + way` — the hit way on
+    /// a hit, the filled way on a miss). Owners key parallel per-way
+    /// metadata off it: the shared L2 stores pending-fill arrival times in
+    /// a slot-indexed array, so the metadata of a line is found by the set
+    /// walk that just located it instead of a second, hashed lookup.
+    #[inline(always)]
+    pub(crate) fn probe_else_fill_dirty_slot(
+        &mut self,
+        addr: u64,
+    ) -> (usize, Option<(Option<u64>, bool)>) {
         let line = self.line_addr(addr);
-        let base = self.set_base(line);
-        if let Some(way) = self.find_way(base, line) {
-            self.stamps[base + way] = self.next_tick();
-            return None;
+        let ln = line >> self.line_shift;
+        let idx = ln as usize & (MEMO_WAYS - 1);
+        let (base, tag) = self.locate(line);
+        // Memoized hit: the memo slot was this exact line's walk result
+        // once, so it lies in this line's set; if the tag still matches,
+        // the line is resident there (a set holds each line at most once)
+        // and the full walk would find the same way. Promote and return —
+        // state and result identical to the scan below.
+        if self.memo_lines[idx] == ln {
+            let slot = self.memo_slots[idx] as usize;
+            if self.tags[slot] == tag {
+                self.touch(base, slot - base);
+                return (slot, None);
+            }
         }
-        let victim = self.victim_way(base);
+        let (found, first_empty) = self.scan_set(base, tag);
+        if let Some(way) = found {
+            self.touch(base, way);
+            self.memo_lines[idx] = ln;
+            self.memo_slots[idx] = (base + way) as u32;
+            return (base + way, None);
+        }
+        let victim = self.claim_victim(base, first_empty);
         let old = self.tags[base + victim];
         let was_dirty = self.dirty[base + victim];
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.next_tick();
+        self.tags[base + victim] = tag;
         self.dirty[base + victim] = false;
-        Some(((old != EMPTY).then_some(old), was_dirty && old != EMPTY))
+        self.memo_lines[idx] = ln;
+        self.memo_slots[idx] = (base + victim) as u32;
+        (
+            base + victim,
+            Some((
+                (old != EMPTY).then(|| self.line_of(base, old)),
+                was_dirty && old != EMPTY,
+            )),
+        )
+    }
+
+    /// Total way slots (`sets * associativity`): the index space of the
+    /// slot indices reported by
+    /// [`probe_else_fill_dirty_slot`](Self::probe_else_fill_dirty_slot).
+    #[inline]
+    pub(crate) fn slots(&self) -> usize {
+        self.tags.len()
     }
 
     /// Marks the line containing `addr` dirty if resident, without touching
@@ -260,9 +610,8 @@ impl Cache {
     /// and timing). Returns whether the line was resident.
     #[inline]
     pub fn mark_dirty(&mut self, addr: u64) -> bool {
-        let line = self.line_addr(addr);
-        let base = self.set_base(line);
-        match self.find_way(base, line) {
+        let (base, tag) = self.locate(self.line_addr(addr));
+        match self.find_way(base, tag) {
             Some(way) => {
                 self.dirty[base + way] = true;
                 true
@@ -273,9 +622,8 @@ impl Cache {
 
     /// Whether the line containing `addr` is resident and dirty.
     pub fn is_dirty(&self, addr: u64) -> bool {
-        let line = self.line_addr(addr);
-        let base = self.set_base(line);
-        self.find_way(base, line)
+        let (base, tag) = self.locate(self.line_addr(addr));
+        self.find_way(base, tag)
             .is_some_and(|way| self.dirty[base + way])
     }
 
@@ -284,25 +632,23 @@ impl Cache {
     /// the residency re-check [`fill`](Self::fill) pays.
     #[inline]
     pub fn fill_absent(&mut self, addr: u64) -> Option<u64> {
-        let line = self.line_addr(addr);
-        let base = self.set_base(line);
-        debug_assert!(self.find_way(base, line).is_none(), "line already resident");
-        let victim = self.victim_way(base);
+        let (base, tag) = self.locate(self.line_addr(addr));
+        let (found, first_empty) = self.scan_set(base, tag);
+        debug_assert!(found.is_none(), "line already resident");
+        let victim = self.claim_victim(base, first_empty);
         let old = self.tags[base + victim];
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.next_tick();
+        self.tags[base + victim] = tag;
         self.dirty[base + victim] = false;
-        (old != EMPTY).then_some(old)
+        (old != EMPTY).then(|| self.line_of(base, old))
     }
 
     /// Inserts the line containing `addr` as MRU, returning the evicted line
     /// address if the set was full. Filling an already-resident line only
     /// refreshes its LRU position.
     pub fn fill(&mut self, addr: u64) -> Option<u64> {
-        let line = self.line_addr(addr);
-        let base = self.set_base(line);
-        if let Some(way) = self.find_way(base, line) {
-            self.stamps[base + way] = self.next_tick();
+        let (base, tag) = self.locate(self.line_addr(addr));
+        if let Some(way) = self.find_way(base, tag) {
+            self.touch(base, way);
             return None;
         }
         self.fill_absent(addr)
@@ -310,11 +656,12 @@ impl Cache {
 
     /// Removes a specific line if resident.
     pub fn invalidate(&mut self, addr: u64) {
-        let line = self.line_addr(addr);
-        let base = self.set_base(line);
-        if let Some(way) = self.find_way(base, line) {
+        let (base, tag) = self.locate(self.line_addr(addr));
+        if let Some(way) = self.find_way(base, tag) {
             self.tags[base + way] = EMPTY;
-            self.stamps[base + way] = 0;
+            // The way's rank stays in place: it keeps the set's permutation
+            // closed, and victim selection prefers empty ways by tag, so a
+            // stale rank can never influence replacement.
             self.dirty[base + way] = false;
         }
     }
@@ -322,7 +669,7 @@ impl Cache {
     /// Empties the cache (keeps statistics).
     pub fn flush(&mut self) {
         self.tags.fill(EMPTY);
-        self.stamps.fill(0);
+        self.ranks = Self::identity_ranks(self.sets, self.assoc);
         self.dirty.fill(false);
     }
 

@@ -43,16 +43,18 @@
 //! core's miss-status-holding-register count — a handful of `SimTime`s
 //! scanned in registers, instead of the seed's unbounded `Vec` with an
 //! `O(n)` `retain` plus `min_by_key` per miss. Pending prefetch arrivals
-//! live in an open-addressed `LineMap` keyed by line address, and are removed
-//! the moment their line is evicted from the L2, so a later refill of the
-//! same line can never read a stale arrival time (the seed implementation
-//! let such entries linger until a threshold purge, over-counting
+//! live in a slot-indexed array parallel to the L2's way slots, addressed
+//! by the same set walk that locates the line; a fill that recycles a way
+//! clears the slot, so a later refill of the same line can never read a
+//! stale arrival time (the seed implementation kept a line-address map and
+//! let entries linger until a threshold purge, over-counting
 //! `prefetch_hits`).
 
 use relmem_sim::{PlatformConfig, SimTime};
 
 use crate::cache::Cache;
 use crate::prefetch::StreamPrefetcher;
+use crate::profile;
 use crate::shared_l2::SharedL2;
 use crate::stats::HierarchyStats;
 
@@ -308,8 +310,16 @@ impl CoreFrontend {
     /// Books a miss-status slot for a fill issued at `ready`: if every slot
     /// is occupied, the issue is delayed until the earliest in-flight fill
     /// returns. Returns the possibly delayed issue time.
-    #[inline]
+    #[inline(always)]
     fn book_miss_slot(&mut self, ready: SimTime, now: SimTime) -> SimTime {
+        // Lazy expiry: while a slot is free the already-returned fills
+        // still pooled here don't need to be swept — expiry at a later
+        // `now` drops a superset of what it would drop today, and
+        // `take_earliest` only ever runs behind an up-to-date sweep, so
+        // the issue times are identical to sweeping eagerly.
+        if self.inflight.has_free_slot() {
+            return ready;
+        }
         self.inflight.expire(now);
         if self.inflight.has_free_slot() {
             return ready;
@@ -354,6 +364,61 @@ impl CoreFrontend {
         AccessOutcome { completion, level }
     }
 
+    /// Performs `fields` back-to-back CPU reads that all land in the single
+    /// cache line starting at `line_addr` (the caller guarantees no field
+    /// straddles out of the line), issued at `now`, returning when the last
+    /// field's data is available.
+    ///
+    /// This is the batched form of calling [`access`](Self::access) once
+    /// per field: after the first touch the line is by construction the L1
+    /// MRU line, so fields `2..=n` are exactly the line-resident fast path
+    /// — an L1 request + hit and one L1-hit latency each. The batch replays
+    /// that arithmetically (`SimTime` is integer picoseconds, so
+    /// `l1_hit * (n-1)` equals the per-field chain bit for bit) instead of
+    /// re-entering the hierarchy per field. With the fast path disabled
+    /// ([`set_fast_path`](Self::set_fast_path)) the batch degenerates to
+    /// the per-field loop, keeping the two configurations comparable the
+    /// same way they are for `access`.
+    #[inline]
+    pub fn access_run<B: MemoryBackend>(
+        &mut self,
+        line_addr: u64,
+        fields: u32,
+        now: SimTime,
+        l2: &mut SharedL2,
+        backend: &mut B,
+    ) -> AccessOutcome {
+        debug_assert!(fields >= 1);
+        debug_assert_eq!(line_addr & (self.line_bytes - 1), 0);
+        if !self.fast_path {
+            // Reference behavior: the fast path is off, so every field
+            // walks the full hierarchy (fields 2..n hit in L1).
+            let mut out = self.access_line(line_addr, now, l2, backend);
+            for _ in 1..fields {
+                out = self.access_line(line_addr, out.completion, l2, backend);
+            }
+            return out;
+        }
+        let extra = u64::from(fields) - 1;
+        if line_addr == self.mru_line {
+            self.stats.l1.requests += extra + 1;
+            self.stats.l1.hits += extra + 1;
+            return AccessOutcome {
+                completion: now + self.l1_hit * (extra + 1),
+                level: HitLevel::L1,
+            };
+        }
+        let first = self.access_line(line_addr, now, l2, backend);
+        // access_line made the line MRU (fast path is on), so fields 2..n
+        // are MRU fast-path hits: replay their counters and latency.
+        self.stats.l1.requests += extra;
+        self.stats.l1.hits += extra;
+        AccessOutcome {
+            completion: first.completion + self.l1_hit * extra,
+            level: first.level,
+        }
+    }
+
     /// Performs a CPU write; with a write-allocate, write-back cache the
     /// timing model is identical to a read, plus the touched L2 lines are
     /// marked dirty so their eventual eviction owes the backend a
@@ -382,8 +447,26 @@ impl CoreFrontend {
         outcome
     }
 
+    /// Monomorphization dispatcher for [`access_line_impl`]: the hot loop
+    /// pays one profiling-enabled check per line here instead of one
+    /// atomic load per guard site inside the walk.
     #[inline]
     fn access_line<B: MemoryBackend>(
+        &mut self,
+        line: u64,
+        now: SimTime,
+        l2: &mut SharedL2,
+        backend: &mut B,
+    ) -> AccessOutcome {
+        if profile::enabled() {
+            self.access_line_impl::<B, true>(line, now, l2, backend)
+        } else {
+            self.access_line_impl::<B, false>(line, now, l2, backend)
+        }
+    }
+
+    #[inline]
+    fn access_line_impl<B: MemoryBackend, const PROF: bool>(
         &mut self,
         line: u64,
         now: SimTime,
@@ -409,7 +492,11 @@ impl CoreFrontend {
         // the line up front is state-equivalent to the seed's
         // lookup-then-fill ordering.
         self.stats.l1.requests += 1;
-        if self.l1.probe_else_fill(line).is_none() {
+        let l1_missed = {
+            let _p = PROF.then(|| profile::phase(profile::Phase::L1Walk));
+            self.l1.probe_else_fill(line).is_some()
+        };
+        if !l1_missed {
             self.stats.l1.hits += 1;
             self.note_mru(line);
             return AccessOutcome {
@@ -421,25 +508,30 @@ impl CoreFrontend {
         self.note_mru(line);
 
         // Train the prefetcher on the L1 miss stream and issue its requests.
-        let decision = self.prefetcher.train(line);
+        let decision = {
+            let _p = PROF.then(|| profile::phase(profile::Phase::PrefetchTrain));
+            self.prefetcher.train(line)
+        };
         for pline in decision.lines() {
-            self.issue_prefetch(pline, now, l2, backend);
+            self.issue_prefetch::<B, PROF>(pline, now, l2, backend);
         }
 
         // L2 lookup, same single-walk fusion (the backend fill between the
         // seed's lookup and fill never reads the L2). The lookup reaches
         // the L2 after the L1 latency and may first wait for its bank
         // (identity when the contention model is off, i.e. one core).
+        let _p = PROF.then(|| profile::phase(profile::Phase::L2Walk));
         self.stats.l2.requests += 1;
         let (lookup_start, waited) = l2.book_bank(self.core, line, now + self.l1_hit);
         self.note_l2_wait(waited);
         let l2_lookup_done = lookup_start + self.l2_hit;
-        match l2.probe_else_fill_dirty(line) {
+        let (slot, filled) = l2.walk(line);
+        match filled {
             None => {
                 self.stats.l2.hits += 1;
                 // The line may still be in flight if it was prefetched
                 // recently.
-                let arrival = l2.pending_remove(line).unwrap_or(SimTime::ZERO);
+                let arrival = l2.pending_take(slot);
                 if !arrival.is_zero() {
                     self.stats.prefetch_hits += 1;
                 }
@@ -450,9 +542,12 @@ impl CoreFrontend {
             }
             Some((evicted, evicted_dirty)) => {
                 self.stats.l2.misses += 1;
+                // Any pending arrival at this slot belonged to the way's
+                // previous occupant — clear it with the eviction.
+                l2.pending_take(slot);
                 if let Some(evicted) = evicted {
-                    l2.pending_remove(evicted);
                     if evicted_dirty {
+                        let _p = PROF.then(|| profile::phase(profile::Phase::BackendFill));
                         backend.writeback_line(evicted, l2_lookup_done);
                     }
                 }
@@ -460,7 +555,10 @@ impl CoreFrontend {
                 // outstanding-miss cap.
                 self.stats.backend_fills += 1;
                 let issue = self.book_miss_slot(l2_lookup_done, now);
-                let arrival = backend.fill_line(line, issue);
+                let arrival = {
+                    let _p = PROF.then(|| profile::phase(profile::Phase::BackendFill));
+                    backend.fill_line(line, issue)
+                };
                 self.record_inflight(arrival);
                 AccessOutcome {
                     completion: arrival.max(l2_lookup_done),
@@ -487,7 +585,7 @@ impl CoreFrontend {
         }
     }
 
-    fn issue_prefetch<B: MemoryBackend>(
+    fn issue_prefetch<B: MemoryBackend, const PROF: bool>(
         &mut self,
         line: u64,
         now: SimTime,
@@ -497,6 +595,7 @@ impl CoreFrontend {
         if !backend.prefetchable(line) {
             return;
         }
+        let _p = PROF.then(|| profile::phase(profile::Phase::PrefetchIssue));
         // Prefetches that would hit in L2 are dropped (they count as L2
         // lookups, which is what inflates the L2 request counts in Fig. 8).
         // Like demand lookups they occupy the line's bank when the
@@ -504,7 +603,8 @@ impl CoreFrontend {
         self.stats.l2.requests += 1;
         let (lookup_start, waited) = l2.book_bank(self.core, line, now);
         self.note_l2_wait(waited);
-        let (evicted, evicted_dirty) = match l2.probe_else_fill_dirty(line) {
+        let (slot, filled) = l2.walk(line);
+        let (evicted, evicted_dirty) = match filled {
             None => {
                 self.stats.l2.hits += 1;
                 return;
@@ -512,18 +612,23 @@ impl CoreFrontend {
             Some(evicted) => evicted,
         };
         self.stats.l2.misses += 1;
+        // The recycled way's previous pending entry (if any) dies with it.
+        l2.pending_take(slot);
         if let Some(evicted) = evicted {
-            l2.pending_remove(evicted);
             if evicted_dirty {
+                let _p = PROF.then(|| profile::phase(profile::Phase::BackendFill));
                 backend.writeback_line(evicted, lookup_start);
             }
         }
         self.stats.prefetches_issued += 1;
         self.stats.backend_fills += 1;
         let issue = self.book_miss_slot(lookup_start, now);
-        let arrival = backend.fill_line(line, issue);
+        let arrival = {
+            let _p = PROF.then(|| profile::phase(profile::Phase::BackendFill));
+            backend.fill_line(line, issue)
+        };
         self.record_inflight(arrival);
-        l2.pending_insert(line, arrival);
+        l2.pending_set(slot, arrival);
     }
 }
 

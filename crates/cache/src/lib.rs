@@ -43,8 +43,8 @@
 
 pub mod cache;
 pub mod hierarchy;
-mod linemap;
 pub mod prefetch;
+pub mod profile;
 pub mod shared_l2;
 pub mod stats;
 

@@ -123,6 +123,13 @@ impl StreamPrefetcher {
 
     /// Trains the prefetcher with a demand access to `addr` and returns the
     /// lines to prefetch. `max_streams == 0` disables prefetching entirely.
+    ///
+    /// Inlined aggressively: training runs on every L1 miss, and during a
+    /// sequential scan every call takes the stream-continuation branch
+    /// below — a handful of compares over at most `max_streams` trackers.
+    /// The detection/allocation machinery only runs when no stream matches
+    /// and lives in the outlined `train_no_stream`.
+    #[inline(always)]
     pub fn train(&mut self, addr: u64) -> PrefetchDecision {
         if self.max_streams == 0 || self.degree == 0 {
             return PrefetchDecision::default();
@@ -150,7 +157,11 @@ impl StreamPrefetcher {
             self.stream_hits += 1;
             return PrefetchDecision::run(from, count, self.line_bytes, true);
         }
+        self.train_no_stream(line)
+    }
 
+    /// The cold half of [`train`](Self::train): no tracked stream matched.
+    fn train_no_stream(&mut self, line: u64) -> PrefetchDecision {
         // New stream detection: this line follows a recently missed line.
         let predecessor = line.checked_sub(1);
         let detected = predecessor.is_some_and(|p| self.recent.contains(&p));

@@ -45,7 +45,6 @@
 use relmem_sim::{MultiResource, PlatformConfig, SimTime};
 
 use crate::cache::Cache;
-use crate::linemap::LineMap;
 
 /// Aggregate contention counters of the shared L2.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,10 +75,18 @@ pub struct CoreL2Share {
 #[derive(Debug, Clone)]
 pub struct SharedL2 {
     cache: Cache,
-    /// Lines whose fill is still in flight (typically prefetches), mapped to
-    /// their arrival time at L2. Entries are dropped when the line leaves
-    /// the L2 so they can never serve a stale arrival to a later refill.
-    pending: LineMap,
+    /// Arrival times of fills still in flight (typically prefetches),
+    /// indexed by the owning line's way slot in `cache` (`SimTime::ZERO` =
+    /// none). Keying by slot instead of by line address means the set walk
+    /// that locates a line has already located its pending entry — no
+    /// second, hashed lookup — and stale entries die structurally: a fill
+    /// that recycles a way clears the slot, so the departed occupant's
+    /// arrival can never serve a later refill. (An earlier revision kept
+    /// an open-addressed line-address map and dropped entries at eviction
+    /// for the same guarantee, paying the extra probe on every walk.)
+    pending: Vec<SimTime>,
+    /// Number of non-zero entries in `pending`.
+    pending_len: usize,
     banks: MultiResource,
     /// Whether bank occupancy is modelled (true iff built for > 1 core).
     contended: bool,
@@ -94,9 +101,11 @@ impl SharedL2 {
     /// Builds the shared L2 described by `cfg`, serving `cores` cores.
     /// Contention is modelled only when `cores > 1` (see module docs).
     pub fn new(cfg: &PlatformConfig, cores: usize) -> Self {
+        let cache = Cache::new(cfg.l2);
         SharedL2 {
-            cache: Cache::new(cfg.l2),
-            pending: LineMap::new(),
+            pending: vec![SimTime::ZERO; cache.slots()],
+            pending_len: 0,
+            cache,
             banks: MultiResource::new("l2-banks", cfg.l2_banks.max(1)),
             contended: cores > 1,
             line_shift: cfg.l2.line_bytes.trailing_zeros(),
@@ -139,7 +148,7 @@ impl SharedL2 {
     /// charges the hit latency on top of the returned start and records
     /// `waited` in its own per-core counters; `core` attributes the lookup
     /// in this cache's own [`core_shares`](Self::core_shares) breakdown.
-    #[inline]
+    #[inline(always)]
     pub fn book_bank(&mut self, core: usize, line: u64, ready: SimTime) -> (SimTime, SimTime) {
         if !self.contended {
             return (ready, SimTime::ZERO);
@@ -161,11 +170,13 @@ impl SharedL2 {
         (start, waited)
     }
 
-    /// Dirty-aware probe-or-install: additionally reports whether the
-    /// evicted line was dirty (see [`Cache::probe_else_fill_dirty`]).
-    #[inline]
-    pub(crate) fn probe_else_fill_dirty(&mut self, line: u64) -> Option<(Option<u64>, bool)> {
-        self.cache.probe_else_fill_dirty(line)
+    /// Dirty-aware probe-or-install, exposing the touched way's slot index
+    /// so the caller can address this line's pending-fill entry without a
+    /// second lookup (see [`Cache::probe_else_fill_dirty_slot`]). `None`
+    /// in the second component means a hit.
+    #[inline(always)]
+    pub(crate) fn walk(&mut self, line: u64) -> (usize, Option<(Option<u64>, bool)>) {
+        self.cache.probe_else_fill_dirty_slot(line)
     }
 
     /// Marks a resident line dirty (a CPU write touched it). Never alters
@@ -175,21 +186,35 @@ impl SharedL2 {
         self.cache.mark_dirty(line)
     }
 
-    /// Records a line whose fill is in flight until `arrival`.
-    #[inline]
-    pub(crate) fn pending_insert(&mut self, line: u64, arrival: SimTime) {
-        self.pending.insert(line, arrival);
+    /// Records that the line occupying `slot` has a fill in flight until
+    /// `arrival`. A `SimTime::ZERO` arrival is indistinguishable from "no
+    /// pending fill" — which is exactly how the hierarchy already treats
+    /// it (a zero arrival never counts as a prefetch hit nor delays a
+    /// completion), so nothing observable changes.
+    #[inline(always)]
+    pub(crate) fn pending_set(&mut self, slot: usize, arrival: SimTime) {
+        debug_assert!(self.pending[slot].is_zero(), "slot already pending");
+        if !arrival.is_zero() {
+            self.pending_len += 1;
+        }
+        self.pending[slot] = arrival;
     }
 
-    /// Removes and returns a line's in-flight arrival time, if any.
-    #[inline]
-    pub(crate) fn pending_remove(&mut self, line: u64) -> Option<SimTime> {
-        self.pending.remove(line)
+    /// Takes `slot`'s in-flight arrival time, leaving the slot clear.
+    /// Returns `SimTime::ZERO` when no fill was pending.
+    #[inline(always)]
+    pub(crate) fn pending_take(&mut self, slot: usize) -> SimTime {
+        let arrival = self.pending[slot];
+        if !arrival.is_zero() {
+            self.pending[slot] = SimTime::ZERO;
+            self.pending_len -= 1;
+        }
+        arrival
     }
 
     /// Number of pending (in-flight prefetch) fills currently tracked.
     pub fn pending_fills(&self) -> usize {
-        self.pending.len()
+        self.pending_len
     }
 
     /// The L2 tag store (read access, for capacity checks in tests).
@@ -200,7 +225,8 @@ impl SharedL2 {
     /// Flushes the tag store, forgets pending fills and frees every bank.
     pub fn flush(&mut self) {
         self.cache.flush();
-        self.pending.clear();
+        self.pending.fill(SimTime::ZERO);
+        self.pending_len = 0;
         self.banks.reset();
     }
 }
@@ -270,7 +296,13 @@ mod tests {
         let cfg = PlatformConfig::zcu102();
         let mut l2 = SharedL2::new(&cfg, 2);
         l2.book_bank(0, 0, ns(10));
-        l2.pending_insert(0, ns(99));
+        let (slot, filled) = l2.walk(0);
+        assert!(filled.is_some(), "cold walk installs the line");
+        l2.pending_set(slot, ns(99));
+        assert_eq!(l2.pending_fills(), 1);
+        assert_eq!(l2.pending_take(slot), ns(99));
+        assert_eq!(l2.pending_take(slot), SimTime::ZERO, "take clears");
+        l2.pending_set(slot, ns(99));
         l2.flush();
         assert_eq!(l2.pending_fills(), 0);
         assert_eq!(l2.book_bank(0, 0, ns(10)), (ns(10), SimTime::ZERO));

@@ -77,6 +77,9 @@ enum JobKind<'a> {
         stride: u64,
         snapshot: Option<Snapshot>,
         visibility_cpu: SimTime,
+        /// Line-granular step schedule, one plan per row-base alignment
+        /// (`None`: step per field — the oracle path).
+        plans: Option<Vec<LinePlan>>,
     },
     Columnar {
         /// (column array base, width) per projected column.
@@ -90,17 +93,103 @@ enum JobKind<'a> {
         /// Packed rows per Reorganization-Buffer frame (for frame-aware
         /// scheduling; `u64::MAX` when the engine holds no configuration).
         frame_rows: u64,
+        /// Line-granular step schedule (see [`JobKind::Rows`]).
+        plans: Option<Vec<LinePlan>>,
     },
+}
+
+/// The line-granular schedule of one row's field accesses, valid for every
+/// row whose base shares this plan's alignment within a cache line.
+///
+/// A row's cursors are fixed offsets off its base address, so which fields
+/// share a line — and which straddle one — depends only on
+/// `row_base % line_bytes`. That alignment cycles with period
+/// `line_bytes / gcd(stride, line_bytes)` rows (at most `line_bytes`), so
+/// a scan precomputes one plan per alignment and the hot loop replays
+/// [`PlanStep`]s: maximal runs of consecutive same-line fields become one
+/// [`CoreFrontend::access_run`] (one tag walk / MRU update / prefetcher
+/// event / backend booking per *line*, per-field cost replayed
+/// arithmetically inside), and line-straddling fields keep the full
+/// per-field access. Step order equals slot order, so the access sequence
+/// the cache hierarchy observes is exactly the per-field sequence.
+struct LinePlan {
+    /// `row_base % line_bytes` for rows this plan covers; the aligned
+    /// line base is `row_base - align`.
+    align: u64,
+    steps: Vec<PlanStep>,
+}
+
+enum PlanStep {
+    /// `fields` consecutive cursors starting at slot `first_slot`, all
+    /// resident in the line `rel_line` bytes past the row's aligned base.
+    Run {
+        rel_line: u64,
+        fields: u32,
+        first_slot: u32,
+    },
+    /// A cursor straddling a line boundary: full per-field access.
+    Field { slot: u32 },
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Builds the per-alignment [`LinePlan`]s for cursors relative to a
+/// `base`/`stride` row layout. `line_bytes` is a power of two.
+fn build_plans(cursors: &[(u64, usize)], base: u64, stride: u64, line_bytes: u64) -> Vec<LinePlan> {
+    let l = line_bytes;
+    let period = l / gcd(stride % l, l).max(1);
+    (0..period)
+        .map(|r| {
+            let align = (base + r * stride) % l;
+            let mut steps: Vec<PlanStep> = Vec::with_capacity(cursors.len());
+            for (slot, &(offset, width)) in cursors.iter().enumerate() {
+                let start = align + offset;
+                let line = start & !(l - 1);
+                let last_line = (start + width.max(1) as u64 - 1) & !(l - 1);
+                if line != last_line {
+                    steps.push(PlanStep::Field { slot: slot as u32 });
+                    continue;
+                }
+                // Extend the previous run when this field continues it.
+                match steps.last_mut() {
+                    Some(PlanStep::Run {
+                        rel_line,
+                        fields,
+                        first_slot,
+                    }) if *rel_line == line && *first_slot as usize + *fields as usize == slot => {
+                        *fields += 1;
+                    }
+                    _ => steps.push(PlanStep::Run {
+                        rel_line: line,
+                        fields: 1,
+                        first_slot: slot as u32,
+                    }),
+                }
+            }
+            LinePlan { align, steps }
+        })
+        .collect()
 }
 
 impl<'a> ScanJob<'a> {
     /// Captures the per-scan constants of `source`. Borrows only the
     /// source's tables — not the system — so a job can outlive any number
-    /// of [`Parts`] borrows.
+    /// of [`Parts`] borrows. With `batched` set, row-layout sources
+    /// precompute [`LinePlan`]s so [`step_row`](Self::step_row) advances
+    /// whole-line runs of fields; without it every field steps through the
+    /// hierarchy individually (the reference path the equivalence suite
+    /// uses as its oracle).
     pub(crate) fn new(
         source: &ScanSource<'a>,
         cost: &CpuCostModel,
         engine: &RmeEngine,
+        line_bytes: usize,
+        batched: bool,
     ) -> ScanJob<'a> {
         match *source {
             ScanSource::Rows {
@@ -119,15 +208,19 @@ impl<'a> ScanJob<'a> {
                         )
                     })
                     .collect();
+                let base = table.row_addr(0);
+                let stride = table.physical_row_bytes() as u64;
                 ScanJob {
                     rows: table.num_rows(),
                     row_cpu: cost.row_loop() + cost.fields(columns.len()),
                     num_columns: columns.len(),
                     kind: JobKind::Rows {
                         table,
+                        plans: batched
+                            .then(|| build_plans(&cursors, base, stride, line_bytes as u64)),
                         cursors,
-                        base: table.row_addr(0),
-                        stride: table.physical_row_bytes() as u64,
+                        base,
+                        stride,
                         snapshot: snapshot.filter(|_| table.mvcc().is_enabled()),
                         visibility_cpu: cost.visibility(),
                     },
@@ -158,14 +251,18 @@ impl<'a> ScanJob<'a> {
                 let cursors: Vec<(u64, usize)> = (0..num_columns)
                     .map(|j| (var.field_addr(0, j) - var.base(), var.width(j)))
                     .collect();
+                let base = var.base();
+                let stride = var.packed_row_bytes() as u64;
                 ScanJob {
                     rows: var.rows(),
                     row_cpu: cost.row_loop() + cost.fields(num_columns),
                     num_columns,
                     kind: JobKind::Ephemeral {
+                        plans: batched
+                            .then(|| build_plans(&cursors, base, stride, line_bytes as u64)),
                         cursors,
-                        base: var.base(),
-                        stride: var.packed_row_bytes() as u64,
+                        base,
+                        stride,
                         frame_rows: engine.rows_per_frame().unwrap_or(u64::MAX).max(1),
                     },
                 }
@@ -227,6 +324,7 @@ impl<'a> ScanJob<'a> {
                 stride,
                 snapshot,
                 visibility_cpu,
+                plans,
             } => {
                 let front = &mut cores[core];
                 let mut backend = DramBackend {
@@ -247,11 +345,58 @@ impl<'a> ScanJob<'a> {
                         };
                     }
                 }
-                for (slot, &(offset, width)) in cursors.iter().enumerate() {
-                    let addr = row_base + offset;
-                    let out = front.access(addr, width, now, l2, &mut backend);
-                    now = out.completion;
-                    values[slot] = mem.read_uint(addr, width.min(8));
+                match plans {
+                    Some(plans) => {
+                        let plan = if plans.len() == 1 {
+                            // The common aligned layout has one plan; skip
+                            // the per-row modulo (an integer divide).
+                            &plans[0]
+                        } else {
+                            &plans[(row % plans.len() as u64) as usize]
+                        };
+                        let aligned = row_base - plan.align;
+                        for step in &plan.steps {
+                            match *step {
+                                PlanStep::Run {
+                                    rel_line,
+                                    fields,
+                                    first_slot,
+                                } => {
+                                    let out = front.access_run(
+                                        aligned + rel_line,
+                                        fields,
+                                        now,
+                                        l2,
+                                        &mut backend,
+                                    );
+                                    now = out.completion;
+                                    // Value reads are pure; replaying them
+                                    // after the run keeps slot order.
+                                    for i in 0..fields as usize {
+                                        let slot = first_slot as usize + i;
+                                        let (offset, width) = cursors[slot];
+                                        values[slot] =
+                                            mem.read_uint(row_base + offset, width.min(8));
+                                    }
+                                }
+                                PlanStep::Field { slot } => {
+                                    let (offset, width) = cursors[slot as usize];
+                                    let addr = row_base + offset;
+                                    let out = front.access(addr, width, now, l2, &mut backend);
+                                    now = out.completion;
+                                    values[slot as usize] = mem.read_uint(addr, width.min(8));
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for (slot, &(offset, width)) in cursors.iter().enumerate() {
+                            let addr = row_base + offset;
+                            let out = front.access(addr, width, now, l2, &mut backend);
+                            now = out.completion;
+                            values[slot] = mem.read_uint(addr, width.min(8));
+                        }
+                    }
                 }
                 let effect = per_row(row, values);
                 let row_cpu = self.row_cpu + effect.cpu;
@@ -286,27 +431,95 @@ impl<'a> ScanJob<'a> {
                 cursors,
                 base,
                 stride,
+                plans,
                 ..
             } => {
                 let front = &mut cores[core];
                 let row_base = base + row * stride;
-                for (slot, &(offset, width)) in cursors.iter().enumerate() {
-                    let addr = row_base + offset;
-                    let out = front.access(
-                        addr,
-                        width,
-                        now,
-                        l2,
-                        &mut RmeBackend {
-                            engine: &mut *engine,
-                            dram: &mut *dram,
-                            mem,
-                            line_bytes,
-                            core,
-                        },
-                    );
-                    now = out.completion;
-                    values[slot] = engine.read_packed_u64(addr, width, mem);
+                match plans {
+                    Some(plans) => {
+                        let plan = if plans.len() == 1 {
+                            // The common aligned layout has one plan; skip
+                            // the per-row modulo (an integer divide).
+                            &plans[0]
+                        } else {
+                            &plans[(row % plans.len() as u64) as usize]
+                        };
+                        let aligned = row_base - plan.align;
+                        for step in &plan.steps {
+                            match *step {
+                                PlanStep::Run {
+                                    rel_line,
+                                    fields,
+                                    first_slot,
+                                } => {
+                                    let out = front.access_run(
+                                        aligned + rel_line,
+                                        fields,
+                                        now,
+                                        l2,
+                                        &mut RmeBackend {
+                                            engine: &mut *engine,
+                                            dram: &mut *dram,
+                                            mem,
+                                            line_bytes,
+                                            core,
+                                        },
+                                    );
+                                    now = out.completion;
+                                    for i in 0..fields as usize {
+                                        let slot = first_slot as usize + i;
+                                        let (offset, width) = cursors[slot];
+                                        values[slot] = engine.read_packed_u64(
+                                            row_base + offset,
+                                            width,
+                                            mem,
+                                        );
+                                    }
+                                }
+                                PlanStep::Field { slot } => {
+                                    let (offset, width) = cursors[slot as usize];
+                                    let addr = row_base + offset;
+                                    let out = front.access(
+                                        addr,
+                                        width,
+                                        now,
+                                        l2,
+                                        &mut RmeBackend {
+                                            engine: &mut *engine,
+                                            dram: &mut *dram,
+                                            mem,
+                                            line_bytes,
+                                            core,
+                                        },
+                                    );
+                                    now = out.completion;
+                                    values[slot as usize] =
+                                        engine.read_packed_u64(addr, width, mem);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for (slot, &(offset, width)) in cursors.iter().enumerate() {
+                            let addr = row_base + offset;
+                            let out = front.access(
+                                addr,
+                                width,
+                                now,
+                                l2,
+                                &mut RmeBackend {
+                                    engine: &mut *engine,
+                                    dram: &mut *dram,
+                                    mem,
+                                    line_bytes,
+                                    core,
+                                },
+                            );
+                            now = out.completion;
+                            values[slot] = engine.read_packed_u64(addr, width, mem);
+                        }
+                    }
                 }
                 let effect = per_row(row, values);
                 let row_cpu = self.row_cpu + effect.cpu;
@@ -333,5 +546,108 @@ impl<'a> ScanJob<'a> {
             cpu,
             scanned: true,
         }
+    }
+
+    /// Whether [`run_rows_fast`](Self::run_rows_fast) covers this job: a
+    /// row-table scan with no MVCC snapshot and a single (stride-aligned)
+    /// line plan. This is the shape every non-MVCC benchmark table has.
+    pub(crate) fn fast_rows_shape(&self) -> bool {
+        matches!(
+            &self.kind,
+            JobKind::Rows {
+                snapshot: None,
+                plans: Some(plans),
+                ..
+            } if plans.len() == 1
+        )
+    }
+
+    /// The whole-scan fast loop for the [`fast_rows_shape`](Self::fast_rows_shape)
+    /// case: identical per-row work to [`step_row`](Self::step_row) — the
+    /// same accesses, value reads and CPU charges in the same order — with
+    /// the per-row invariants (kind dispatch, frontend borrow, backend
+    /// construction, plan selection) hoisted out of the loop. Single-core
+    /// scans spend their whole life here, so the loop body must carry no
+    /// rediscovery of what the plan already knows.
+    ///
+    /// Returns `(end, cpu_total, rows_scanned)` exactly as the caller's
+    /// per-row accumulation over `step_row` would.
+    pub(crate) fn run_rows_fast<F>(
+        &self,
+        p: Parts<'_>,
+        core: usize,
+        start: SimTime,
+        values: &mut [u64],
+        per_row: &mut F,
+    ) -> (SimTime, SimTime, u64)
+    where
+        F: FnMut(u64, &[u64]) -> RowEffect,
+    {
+        let Parts {
+            cores,
+            l2,
+            dram,
+            mem,
+            engine: _,
+            line_bytes,
+        } = p;
+        let JobKind::Rows {
+            cursors,
+            base,
+            stride,
+            plans: Some(plans),
+            ..
+        } = &self.kind
+        else {
+            unreachable!("run_rows_fast requires fast_rows_shape");
+        };
+        let plan = &plans[0];
+        let front = &mut cores[core];
+        let mut backend = DramBackend {
+            dram,
+            line_bytes,
+            core,
+        };
+        let mut now = start;
+        let mut cpu_total = SimTime::ZERO;
+        for row in 0..self.rows {
+            let row_base = base + row * stride;
+            let aligned = row_base - plan.align;
+            for step in &plan.steps {
+                match *step {
+                    PlanStep::Run {
+                        rel_line,
+                        fields,
+                        first_slot,
+                    } => {
+                        let out =
+                            front.access_run(aligned + rel_line, fields, now, l2, &mut backend);
+                        now = out.completion;
+                        // Value reads are pure; replaying them after the
+                        // run keeps slot order.
+                        for i in 0..fields as usize {
+                            let slot = first_slot as usize + i;
+                            let (offset, width) = cursors[slot];
+                            values[slot] = mem.read_uint(row_base + offset, width.min(8));
+                        }
+                    }
+                    PlanStep::Field { slot } => {
+                        let (offset, width) = cursors[slot as usize];
+                        let addr = row_base + offset;
+                        let out = front.access(addr, width, now, l2, &mut backend);
+                        now = out.completion;
+                        values[slot as usize] = mem.read_uint(addr, width.min(8));
+                    }
+                }
+            }
+            let effect = per_row(row, values);
+            let row_cpu = self.row_cpu + effect.cpu;
+            now += row_cpu;
+            cpu_total += row_cpu;
+            if let Some((addr, bytes)) = effect.touch {
+                now = front.access(addr, bytes, now, l2, &mut backend).completion;
+            }
+        }
+        (now, cpu_total, self.rows)
     }
 }

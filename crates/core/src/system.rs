@@ -188,6 +188,9 @@ pub struct System {
     /// Whether the event-driven memory path is active (see
     /// [`SystemConfig::event_driven`]).
     event_driven: bool,
+    /// Whether scans step whole-line runs of fields (on by default; see
+    /// [`Self::set_batched_stepping`]).
+    pub(crate) batched_stepping: bool,
 }
 
 impl System {
@@ -237,6 +240,7 @@ impl System {
             txn_rt: TxnRuntime::default(),
             ephemeral_cursor: EPHEMERAL_REGION_BASE,
             event_driven: false,
+            batched_stepping: true,
         };
         sys.set_event_driven(config.event_driven);
         sys
@@ -493,6 +497,17 @@ impl System {
         }
     }
 
+    /// Enables or disables batched line-granular scan stepping (on by
+    /// default). When on, scans precompute per-alignment line plans and
+    /// step whole-line runs of fields through one hierarchy walk each,
+    /// replaying the per-field cost arithmetically; when off every field
+    /// steps individually. Timing and statistics are identical either way
+    /// — the switch exists so the equivalence suite can hold the
+    /// per-field path up as the oracle.
+    pub fn set_batched_stepping(&mut self, enabled: bool) {
+        self.batched_stepping = enabled;
+    }
+
     /// Runs a measured scan over `source`, invoking `per_row` for every
     /// (visible) row with the projected values, and returns
     /// `(end_time, cpu_time, rows_scanned)`.
@@ -508,10 +523,12 @@ impl System {
     /// single-threaded setup. Use `cores = 1` for paper-faithful
     /// single-threaded measurements; `multicore.rs` pins this distinction.
     ///
-    /// This is the simulator's hot path: per-column cursors (base offset,
-    /// stride, width) are computed once per scan instead of per field, the
-    /// memory backend is constructed once per scan instead of per access,
-    /// and the per-row CPU charge is folded into one precomputed constant.
+    /// This is the simulator's hot path, the same per-row stepper the
+    /// multi-core schedulers use (`ScanJob::step_row`): per-column
+    /// cursors, the per-row CPU charge and — for row layouts — the
+    /// line-granular step plans are computed once per scan, and each row
+    /// then advances whole-line runs of fields through one hierarchy walk
+    /// each (see `crates/core/src/stepper.rs`).
     /// [`scan_naive`](Self::scan_naive) keeps the original per-field-lookup
     /// loop; `tests/cross_path_equivalence.rs` asserts both produce
     /// bit-identical timing, statistics and values.
@@ -524,248 +541,33 @@ impl System {
     where
         F: FnMut(u64, &[u64]) -> RowEffect,
     {
-        let out = match source {
-            ScanSource::Rows {
-                table,
-                columns,
-                snapshot,
-            } => self.scan_rows(table, columns, *snapshot, start, &mut per_row),
-            ScanSource::Columnar { table, columns } => {
-                self.scan_columnar(table, columns, start, &mut per_row)
-            }
-            ScanSource::Ephemeral { var } => self.scan_ephemeral(var, start, &mut per_row),
-        };
+        let job = ScanJob::new(
+            source,
+            &self.cost,
+            &self.engine,
+            self.cfg.l1.line_bytes,
+            self.batched_stepping,
+        );
+        let mut values = vec![0u64; job.num_columns()];
+        if job.fast_rows_shape() {
+            // The common single-plan row-table shape: run the whole scan
+            // through the stepper's hoisted loop (identical per-row work,
+            // invariants lifted out of the loop — see `run_rows_fast`).
+            let (now, cpu_total, rows_scanned) =
+                job.run_rows_fast(self.parts(), 0, start, &mut values, &mut per_row);
+            self.settle_memory();
+            return (now, cpu_total, rows_scanned);
+        }
+        let mut now = start;
+        let mut cpu_total = SimTime::ZERO;
+        let mut rows_scanned = 0u64;
+        for row in 0..job.rows() {
+            let step = job.step_row(self.parts(), 0, row, now, &mut values, &mut per_row);
+            now = step.now;
+            cpu_total += step.cpu;
+            rows_scanned += step.scanned as u64;
+        }
         self.settle_memory();
-        out
-    }
-
-    /// Row-major scan with hoisted column cursors.
-    fn scan_rows<F>(
-        &mut self,
-        table: &RowTable,
-        columns: &[usize],
-        snapshot: Option<Snapshot>,
-        start: SimTime,
-        per_row: &mut F,
-    ) -> (SimTime, SimTime, u64)
-    where
-        F: FnMut(u64, &[u64]) -> RowEffect,
-    {
-        // Per-scan precomputation: one (offset-within-row, width) cursor
-        // per projected column, with the MVCC header folded into the
-        // offset, so the inner loop is pure address arithmetic.
-        let schema = table.schema();
-        let header = table.mvcc().header_bytes() as u64;
-        let cursors: Vec<(u64, usize)> = columns
-            .iter()
-            .map(|&col| {
-                (
-                    header + schema.offset(col).expect("valid column") as u64,
-                    schema.width(col).expect("valid column"),
-                )
-            })
-            .collect();
-        let base = table.row_addr(0);
-        let stride = table.physical_row_bytes() as u64;
-        let rows = table.num_rows();
-        let mvcc_snapshot = snapshot.filter(|_| table.mvcc().is_enabled());
-        let row_cpu = self.cost.row_loop() + self.cost.fields(columns.len());
-        let visibility_cpu = self.cost.visibility();
-
-        let System {
-            cores,
-            l2,
-            dram,
-            mem,
-            cfg,
-            ..
-        } = self;
-        let front = &mut cores[0];
-        let mut backend = DramBackend {
-            dram,
-            line_bytes: cfg.l1.line_bytes,
-            core: 0,
-        };
-
-        let mut now = start;
-        let mut cpu_total = SimTime::ZERO;
-        let mut values: Vec<u64> = vec![0; cursors.len()];
-        let mut rows_scanned = 0u64;
-        for row in 0..rows {
-            let row_base = base + row * stride;
-            // MVCC: read the version header and check visibility.
-            if let Some(snap) = mvcc_snapshot {
-                let out = front.access(row_base, 16, now, l2, &mut backend);
-                now = out.completion + visibility_cpu;
-                cpu_total += visibility_cpu;
-                if !table.visible(mem, row, snap).unwrap_or(false) {
-                    continue;
-                }
-            }
-            for (slot, &(offset, width)) in cursors.iter().enumerate() {
-                let addr = row_base + offset;
-                let out = front.access(addr, width, now, l2, &mut backend);
-                now = out.completion;
-                values[slot] = mem.read_uint(addr, width.min(8));
-            }
-            let effect = per_row(row, &values);
-            let cpu = row_cpu + effect.cpu;
-            now += cpu;
-            cpu_total += cpu;
-            if let Some((addr, bytes)) = effect.touch {
-                now = front.access(addr, bytes, now, l2, &mut backend).completion;
-            }
-            rows_scanned += 1;
-        }
-        (now, cpu_total, rows_scanned)
-    }
-
-    /// Column-store scan with per-column base/stride cursors.
-    fn scan_columnar<F>(
-        &mut self,
-        table: &ColumnarTable,
-        columns: &[usize],
-        start: SimTime,
-        per_row: &mut F,
-    ) -> (SimTime, SimTime, u64)
-    where
-        F: FnMut(u64, &[u64]) -> RowEffect,
-    {
-        let schema = table.schema();
-        // Cursor = the column array's running address; advances by the
-        // column width each row.
-        let widths: Vec<usize> = columns
-            .iter()
-            .map(|&col| schema.width(col).expect("valid column"))
-            .collect();
-        let mut addrs: Vec<u64> = columns
-            .iter()
-            .map(|&col| table.column_base(col).expect("valid column"))
-            .collect();
-        let rows = table.num_rows();
-        let row_cpu = self.cost.row_loop()
-            + self.cost.fields(columns.len())
-            + self.cost.tuple_reconstruction(columns.len());
-
-        let System {
-            cores,
-            l2,
-            dram,
-            mem,
-            cfg,
-            ..
-        } = self;
-        let front = &mut cores[0];
-        let mut backend = DramBackend {
-            dram,
-            line_bytes: cfg.l1.line_bytes,
-            core: 0,
-        };
-
-        let mut now = start;
-        let mut cpu_total = SimTime::ZERO;
-        let mut values: Vec<u64> = vec![0; columns.len()];
-        let mut rows_scanned = 0u64;
-        for row in 0..rows {
-            for slot in 0..addrs.len() {
-                let addr = addrs[slot];
-                let width = widths[slot];
-                let out = front.access(addr, width, now, l2, &mut backend);
-                now = out.completion;
-                values[slot] = mem.read_uint(addr, width.min(8));
-                addrs[slot] = addr + width as u64;
-            }
-            let effect = per_row(row, &values);
-            let cpu = row_cpu + effect.cpu;
-            now += cpu;
-            cpu_total += cpu;
-            if let Some((addr, bytes)) = effect.touch {
-                now = front.access(addr, bytes, now, l2, &mut backend).completion;
-            }
-            rows_scanned += 1;
-        }
-        (now, cpu_total, rows_scanned)
-    }
-
-    /// Ephemeral-variable scan through the RME.
-    fn scan_ephemeral<F>(
-        &mut self,
-        var: &EphemeralVariable,
-        start: SimTime,
-        per_row: &mut F,
-    ) -> (SimTime, SimTime, u64)
-    where
-        F: FnMut(u64, &[u64]) -> RowEffect,
-    {
-        let num_columns = var.num_columns();
-        let cursors: Vec<(u64, usize)> = (0..num_columns)
-            .map(|j| (var.field_addr(0, j) - var.base(), var.width(j)))
-            .collect();
-        let base = var.base();
-        let stride = var.packed_row_bytes() as u64;
-        let rows = var.rows();
-        let row_cpu = self.cost.row_loop() + self.cost.fields(num_columns);
-
-        let System {
-            cores,
-            l2,
-            dram,
-            mem,
-            engine,
-            cfg,
-            ..
-        } = self;
-        let front = &mut cores[0];
-        let line_bytes = cfg.l1.line_bytes;
-
-        let mut now = start;
-        let mut cpu_total = SimTime::ZERO;
-        let mut values: Vec<u64> = vec![0; num_columns];
-        let mut rows_scanned = 0u64;
-        for row in 0..rows {
-            let row_base = base + row * stride;
-            for (slot, &(offset, width)) in cursors.iter().enumerate() {
-                let addr = row_base + offset;
-                // The backend borrows the engine mutably, and reading the
-                // packed value borrows it again immediately after, so the
-                // backend is a per-access reborrow (it is two pointers —
-                // the per-scan hoisting that matters is the cursor math).
-                let out = front.access(
-                    addr,
-                    width,
-                    now,
-                    l2,
-                    &mut RmeBackend {
-                        engine: &mut *engine,
-                        dram: &mut *dram,
-                        mem,
-                        line_bytes,
-                        core: 0,
-                    },
-                );
-                now = out.completion;
-                values[slot] = engine.read_packed_u64(addr, width, mem);
-            }
-            let effect = per_row(row, &values);
-            let cpu = row_cpu + effect.cpu;
-            now += cpu;
-            cpu_total += cpu;
-            if let Some((addr, bytes)) = effect.touch {
-                let out = front.access(
-                    addr,
-                    bytes,
-                    now,
-                    l2,
-                    &mut DramBackend {
-                        dram: &mut *dram,
-                        line_bytes,
-                        core: 0,
-                    },
-                );
-                now = out.completion;
-            }
-            rows_scanned += 1;
-        }
         (now, cpu_total, rows_scanned)
     }
 
@@ -1160,7 +962,13 @@ impl System {
     where
         F: FnMut(usize, u64, &[u64]) -> RowEffect,
     {
-        let job = ScanJob::new(source, &self.cost, &self.engine);
+        let job = ScanJob::new(
+            source,
+            &self.cost,
+            &self.engine,
+            self.cfg.l1.line_bytes,
+            self.batched_stepping,
+        );
         let ranges = shard_ranges(job.rows(), self.cores.len());
         let mut states: Vec<ShardState> = ranges
             .iter()

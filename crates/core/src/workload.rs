@@ -895,7 +895,13 @@ impl System {
                         *snapshot = st.snapshot;
                     }
                 }
-                let job = ScanJob::new(&source, &self.cost, &self.engine);
+                let job = ScanJob::new(
+                    &source,
+                    &self.cost,
+                    &self.engine,
+                    self.cfg.l1.line_bytes,
+                    self.batched_stepping,
+                );
                 if job.rows() == 0 {
                     st.outcomes.push(OpOutcome {
                         op: op_idx,

@@ -174,6 +174,49 @@ impl CompletionQueue {
     }
 }
 
+/// Tail state of the most recently serviced chunk, kept so a request that
+/// *continues* it — next sequential address, same open DRAM row, same
+/// requestor and admission class — can be booked arithmetically without
+/// re-deriving what is already known (see [`DramController::access`]).
+///
+/// The streak is replaced on every access, so any intervening request —
+/// one that conflicts on the bank (opening a different row), one from a
+/// different requestor, or one admitted under the other priority class
+/// (the PS–PL QoS preemption point) — automatically breaks it: the next
+/// request fails the continuation test and takes the full decode path.
+/// The occupancy model has no refresh events (the cycle-accurate model
+/// owns those); the row boundary is the hard stop here, and a streak
+/// never extends across it.
+#[derive(Debug, Clone, Copy)]
+struct Streak {
+    /// Address one past the last serviced chunk — the continuation point.
+    next_addr: u64,
+    /// Exclusive end of the open DRAM row that chunk landed in. A
+    /// continuation must fit strictly inside it (single chunk, guaranteed
+    /// row-buffer hit).
+    row_end: u64,
+    /// Bank owning that row.
+    bank: usize,
+    /// Requestor of the tail access; attribution must match to coalesce.
+    requestor: Requestor,
+    /// Whether the tail access was admitted with demand priority.
+    demand: bool,
+}
+
+impl Streak {
+    /// A streak no request can continue (`row_end == 0` fails the
+    /// containment test for every address).
+    fn broken() -> Self {
+        Streak {
+            next_addr: u64::MAX,
+            row_end: 0,
+            bank: 0,
+            requestor: Requestor::Core(0),
+            demand: false,
+        }
+    }
+}
+
 /// The DRAM controller.
 #[derive(Debug, Clone)]
 pub struct DramController {
@@ -183,6 +226,17 @@ pub struct DramController {
     open_rows: Vec<Option<u64>>,
     banks: Vec<PriorityResource>,
     bus: PriorityResource,
+    /// Sequential same-row streak cache (see [`Streak`]).
+    streak: Streak,
+    /// Whether the streak fast path is used. Timing and statistics are
+    /// identical either way (the differential tests below pin this);
+    /// disabling exists so tests can hold the full decode path as oracle.
+    coalesce: bool,
+    /// Host-side count of chunks booked through the streak fast path.
+    /// Deliberately *not* part of [`DramStats`]: it measures simulator
+    /// implementation behaviour, not simulated hardware behaviour, and the
+    /// coalesced/uncoalesced differential asserts `DramStats` equality.
+    coalesced_chunks: u64,
     /// Event-driven mode: CPU (core) requests are admitted with demand
     /// priority instead of appending behind every future reservation. See
     /// [`set_event_driven`](Self::set_event_driven).
@@ -202,6 +256,9 @@ impl DramController {
             open_rows: vec![None; cfg.banks],
             banks: (0..cfg.banks).map(|_| PriorityResource::new("dram-bank")).collect(),
             bus: PriorityResource::new("dram-bus"),
+            streak: Streak::broken(),
+            coalesce: true,
+            coalesced_chunks: 0,
             event_mode: false,
             bus_shift: cfg
                 .bus_bytes
@@ -236,8 +293,27 @@ impl DramController {
         self.open_rows.iter_mut().for_each(|r| *r = None);
         self.banks.iter_mut().for_each(PriorityResource::reset);
         self.bus.reset();
+        self.streak = Streak::broken();
         self.queue.reset();
         self.stats = DramStats::default();
+    }
+
+    /// Enables or disables the sequential-streak fast path in
+    /// [`access`](Self::access). Completions and statistics are identical
+    /// either way; the switch exists so the coalescing tests can hold the
+    /// uncoalesced decode path as oracle.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalesce = on;
+        if !on {
+            self.streak = Streak::broken();
+        }
+    }
+
+    /// Chunks booked through the streak fast path so far (a simulator
+    /// implementation counter — see the field docs; not part of
+    /// [`stats`](Self::stats)).
+    pub fn coalesced_chunks(&self) -> u64 {
+        self.coalesced_chunks
     }
 
     /// Enables or disables event-driven admission. In event-driven mode,
@@ -298,11 +374,42 @@ impl DramController {
     /// returns its completion. The data itself is read from
     /// [`PhysicalMemory`](crate::PhysicalMemory) by the caller; the
     /// controller only accounts time.
+    /// Inlined into callers so that on a sequential read stream only the
+    /// streak test and the coalesced booking run at the call site; the full
+    /// decode path stays an outlined call taken on streak breaks.
+    #[inline(always)]
     pub fn access(&mut self, req: MemRequest) -> Completion {
-        let chunks = self.mapping.split_by_row(req.addr, req.bytes.max(1));
+        let bytes = req.bytes.max(1);
+        let demand = self.event_mode && matches!(req.requestor, Requestor::Core(_));
+        // Streak fast path: a read that continues the previous chunk —
+        // next sequential address, inside the same (still open) DRAM row,
+        // same requestor, same admission class — books exactly what the
+        // full path's row-hit branch would book, without re-splitting and
+        // re-decoding the address. Anything else (a bank conflict that
+        // opened a different row, a class switch at the PS–PL QoS
+        // preemption point, a row-boundary crossing) falls through to the
+        // full path, which replaces the streak with its own tail.
+        if self.coalesce
+            && req.kind == ReqKind::Read
+            && req.addr == self.streak.next_addr
+            && req.addr + bytes as u64 <= self.streak.row_end
+            && req.requestor == self.streak.requestor
+            && demand == self.streak.demand
+        {
+            return self.access_coalesced(req, bytes, demand);
+        }
+        self.access_full(req, bytes, demand)
+    }
+
+    /// The full decode path: split by DRAM row, decode each chunk, book
+    /// bank + bus per chunk. Leaves the streak pointing one past the tail
+    /// chunk so a sequential successor can coalesce.
+    fn access_full(&mut self, req: MemRequest, bytes: usize, demand: bool) -> Completion {
+        let chunks = self.mapping.split_by_row(req.addr, bytes);
         let mut finish = req.ready;
         let mut start = SimTime::from_picos(u64::MAX);
         let mut all_hits = true;
+        let mut tail = Streak::broken();
 
         for (addr, len) in chunks {
             let coord = self.mapping.decode(addr);
@@ -323,7 +430,6 @@ impl DramController {
                     self.cfg.row_miss_latency(),
                 )
             };
-            let demand = self.event_mode && matches!(req.requestor, Requestor::Core(_));
             let (bank_start, _) = if demand {
                 self.banks[coord.bank].acquire_demand(req.ready, occupancy)
             } else {
@@ -360,7 +466,15 @@ impl DramController {
 
             start = start.min(bank_start);
             finish = finish.max(bus_end);
+            tail = Streak {
+                next_addr: addr + len as u64,
+                row_end: addr - coord.column as u64 + self.cfg.row_bytes as u64,
+                bank: coord.bank,
+                requestor: req.requestor,
+                demand,
+            };
         }
+        self.streak = tail;
 
         Completion {
             start: if start == SimTime::from_picos(u64::MAX) {
@@ -370,6 +484,50 @@ impl DramController {
             },
             finish,
             row_hit: all_hits,
+        }
+    }
+
+    /// Books a chunk that continues the current streak: guaranteed
+    /// row-buffer hit on the streak's bank, single chunk, same admission
+    /// class. Performs the same resource bookings and counter bumps as the
+    /// full path's row-hit branch, bit for bit.
+    #[inline(always)]
+    fn access_coalesced(&mut self, req: MemRequest, len: usize, demand: bool) -> Completion {
+        self.coalesced_chunks += 1;
+        self.stats.row_hits += 1;
+        let (bank_start, _) = if demand {
+            self.banks[self.streak.bank].acquire_demand(req.ready, self.cfg.t_ccd)
+        } else {
+            self.banks[self.streak.bank].acquire(req.ready, self.cfg.t_ccd)
+        };
+        let data_ready = bank_start + self.cfg.row_hit_latency();
+        let beats = match self.bus_shift {
+            Some(shift) => ((len + self.cfg.bus_bytes - 1) >> shift) as u64,
+            None => len.div_ceil(self.cfg.bus_bytes) as u64,
+        };
+        let transfer = self.cfg.beat_time * beats;
+        let (_, bus_end) = if demand {
+            self.bus.acquire_demand(data_ready, transfer)
+        } else {
+            self.bus.acquire(data_ready, transfer)
+        };
+        self.stats.accesses += 1;
+        self.stats.beats += beats;
+        self.stats.bytes_transferred += beats * self.cfg.bus_bytes as u64;
+        match req.requestor {
+            Requestor::Core(core) => {
+                if self.stats.per_core_accesses.len() <= core {
+                    self.stats.per_core_accesses.resize(core + 1, 0);
+                }
+                self.stats.per_core_accesses[core] += 1;
+            }
+            Requestor::Rme => self.stats.rme_accesses += 1,
+        }
+        self.streak.next_addr = req.addr + len as u64;
+        Completion {
+            start: bank_start,
+            finish: req.ready.max(bus_end),
+            row_hit: true,
         }
     }
 
@@ -593,5 +751,172 @@ mod tests {
         assert_eq!(c.stats(), &DramStats::default());
         // Id allocation restarts after reset.
         assert_eq!(c.issue(MemRequest::new(0, 16, SimTime::ZERO)), RequestId(0));
+    }
+
+    /// Runs the same request sequence through a coalescing controller and
+    /// one forced down the full decode path, asserting bit-identical
+    /// completions, statistics, and bus occupancy. Returns the number of
+    /// chunks the coalescing side booked through the streak fast path.
+    fn assert_coalescing_identical(reqs: &[MemRequest], event_mode: bool) -> u64 {
+        let mut fast = ctl();
+        let mut slow = ctl();
+        slow.set_coalescing(false);
+        fast.set_event_driven(event_mode);
+        slow.set_event_driven(event_mode);
+        for (i, &req) in reqs.iter().enumerate() {
+            let f = fast.access(req);
+            let s = slow.access(req);
+            assert_eq!(f, s, "completion diverged at request {i} ({req:?})");
+        }
+        assert_eq!(fast.stats(), slow.stats(), "DramStats diverged");
+        assert_eq!(fast.bus_busy(), slow.bus_busy());
+        assert_eq!(fast.bus_free_at(), slow.bus_free_at());
+        assert_eq!(slow.coalesced_chunks(), 0, "oracle must not coalesce");
+        fast.coalesced_chunks()
+    }
+
+    /// A sequential line stream (the scan fill pattern): every in-row
+    /// continuation is coalesced, and totals and finish times match the
+    /// uncoalesced path bit for bit, in both admission modes.
+    #[test]
+    fn sequential_streak_coalesces_identically() {
+        let reqs: Vec<MemRequest> = (0..96u64)
+            .map(|i| MemRequest::new(i * 64, 64, ns(i * 3)))
+            .collect();
+        for event_mode in [false, true] {
+            let coalesced = assert_coalescing_identical(&reqs, event_mode);
+            // 3 rows of 32 lines: each row's first line decodes in full
+            // (row miss), the remaining 31 ride the streak.
+            assert_eq!(coalesced, 93);
+        }
+    }
+
+    /// Coalescing never crosses a DRAM row boundary: the row-crossing
+    /// request takes the full path (and is charged its row miss), whether
+    /// it lands on the boundary or straddles it.
+    #[test]
+    fn streak_breaks_at_row_boundary() {
+        let row = DramConfig::default().row_bytes as u64;
+        // Lines up to the boundary, then one straddling it.
+        let mut reqs: Vec<MemRequest> = (0..row / 64)
+            .map(|i| MemRequest::new(i * 64, 64, ns(i)))
+            .collect();
+        reqs.push(MemRequest::new(row - 8, 16, ns(row / 64)));
+        let coalesced = assert_coalescing_identical(&reqs, false);
+        assert_eq!(coalesced, row / 64 - 1, "the straddler must not coalesce");
+
+        let mut c = ctl();
+        for &req in &reqs {
+            c.access(req);
+        }
+        // One miss opening the row, one per half of the split straddler.
+        assert_eq!(c.stats().row_misses, 2);
+        assert_eq!(c.stats().row_hits, row / 64 + 1 - 1);
+    }
+
+    /// An intervening access that conflicts on the bank (opens a different
+    /// row) breaks the streak: the stream's next request re-decodes and is
+    /// charged the row re-open, identically to the uncoalesced path.
+    #[test]
+    fn bank_conflict_breaks_streak() {
+        let c = ctl();
+        let bank0 = c.mapping().decode(0).bank;
+        let conflict = c.mapping().encode(crate::address::DramCoord {
+            bank: bank0,
+            row: 7,
+            column: 0,
+        });
+        assert_eq!(c.mapping().decode(conflict).bank, bank0);
+        let reqs = vec![
+            MemRequest::new(0, 64, ns(0)),
+            MemRequest::new(64, 64, ns(1)),
+            MemRequest::new(conflict, 64, ns(2)), // same bank, different row
+            MemRequest::new(128, 64, ns(3)),      // would-be continuation
+            MemRequest::new(192, 64, ns(4)),
+        ];
+        let coalesced = assert_coalescing_identical(&reqs, false);
+        // Only the 0→64 continuation coalesces: the conflict replaces the
+        // streak, and 128 no longer continues anything (row re-open), so
+        // 192 starts a fresh streak off 128's full-path tail.
+        assert_eq!(coalesced, 2);
+        let mut full = ctl();
+        full.set_coalescing(false);
+        for &req in &reqs {
+            full.access(req);
+        }
+        assert_eq!(full.stats().row_misses, 3, "conflict re-opens the row");
+    }
+
+    /// Coalescing never crosses a priority-class boundary: a requestor
+    /// switch (Core ↔ RME) or an admission-mode flip mid-stream — the
+    /// PS–PL QoS preemption points — forces the full path.
+    #[test]
+    fn class_switch_breaks_streak() {
+        // Core and RME alternate on one sequential stream: no continuation
+        // ever has a matching class, so nothing coalesces — but results
+        // still match the oracle exactly.
+        let reqs: Vec<MemRequest> = (0..16u64)
+            .map(|i| {
+                let requestor = if i % 2 == 0 {
+                    Requestor::Core(0)
+                } else {
+                    Requestor::Rme
+                };
+                MemRequest::new(i * 64, 64, ns(i)).with_requestor(requestor)
+            })
+            .collect();
+        assert_eq!(assert_coalescing_identical(&reqs, true), 0);
+
+        // Flipping event-driven admission mid-streak changes the demand
+        // class of Core traffic: the next request must not coalesce onto a
+        // streak booked under the other class.
+        let mut c = ctl();
+        c.access(MemRequest::new(0, 64, ns(0)));
+        c.access(MemRequest::new(64, 64, ns(1)));
+        assert_eq!(c.coalesced_chunks(), 1);
+        c.set_event_driven(true);
+        c.access(MemRequest::new(128, 64, ns(2)));
+        assert_eq!(c.coalesced_chunks(), 1, "class flip must break the streak");
+        c.access(MemRequest::new(192, 64, ns(3)));
+        assert_eq!(c.coalesced_chunks(), 2, "the new class streaks on its own");
+    }
+
+    /// Writes never coalesce (their attribution differs), but a write does
+    /// not corrupt the streak state for the reads around it: the whole
+    /// mixed stream stays bit-identical to the uncoalesced path.
+    #[test]
+    fn writes_never_coalesce() {
+        let reqs: Vec<MemRequest> = (0..16u64)
+            .map(|i| {
+                let req = MemRequest::new(i * 64, 64, ns(i));
+                if i % 4 == 3 {
+                    req.as_write()
+                } else {
+                    req
+                }
+            })
+            .collect();
+        let coalesced = assert_coalescing_identical(&reqs, false);
+        // 15 continuations, minus the 4 writes (full path each).
+        assert_eq!(coalesced, 11);
+        let mut c = ctl();
+        for &req in &reqs {
+            c.access(req);
+        }
+        assert_eq!(c.stats().writes, 4);
+    }
+
+    /// `reset` also clears the streak: the first post-reset request must
+    /// re-decode (the open-row table was just wiped).
+    #[test]
+    fn reset_breaks_streak() {
+        let mut c = ctl();
+        c.access(MemRequest::new(0, 64, ns(0)));
+        c.access(MemRequest::new(64, 64, ns(1)));
+        assert_eq!(c.coalesced_chunks(), 1);
+        c.reset();
+        let post = c.access(MemRequest::new(128, 64, ns(0)));
+        assert!(!post.row_hit, "post-reset access must observe the precharge");
+        assert_eq!(c.coalesced_chunks(), 1);
     }
 }

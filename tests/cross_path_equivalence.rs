@@ -159,6 +159,22 @@ mod scan_equivalence {
         rows: u64,
         columns: &[usize],
     ) -> ScanRecord {
+        run_case_stepping(kind, engine, seed, widths, rows, columns, true)
+    }
+
+    /// [`run_case`] with explicit control of batched line-granular
+    /// stepping (`System::set_batched_stepping`); `false` holds the
+    /// per-field stepper up as the oracle.
+    #[allow(clippy::too_many_arguments)]
+    fn run_case_stepping(
+        kind: Kind,
+        engine: Engine,
+        seed: u64,
+        widths: &[usize],
+        rows: u64,
+        columns: &[usize],
+        batched: bool,
+    ) -> ScanRecord {
         let mvcc = matches!(
             kind,
             Kind::RowsMvccSnapshot | Kind::EphemeralMvccSnapshot
@@ -229,6 +245,7 @@ mod scan_equivalence {
         };
 
         sys.set_cache_fast_path(engine != Engine::Naive);
+        sys.set_batched_stepping(batched);
         sys.begin_measurement(path);
         let mut values: Vec<Vec<u64>> = Vec::new();
         // Exercise the closure-effect paths: extra CPU on some rows and
@@ -322,6 +339,41 @@ mod scan_equivalence {
                 let scan = run_case(kind, Engine::Optimized, seed, &widths, rows, &columns);
                 let sharded = run_case(kind, Engine::ShardedOneCore, seed, &widths, rows, &columns);
                 prop_assert_eq!(&scan, &sharded, "diverged for {:?}", kind);
+            }
+        }
+
+        /// Batched line-granular stepping (whole-line runs of fields
+        /// through one hierarchy walk, per-field cost replayed
+        /// arithmetically) must be bit-identical to stepping every field
+        /// individually — same completion time, CPU time, values and every
+        /// cache/DRAM/RME counter — for every source kind, with and
+        /// without MVCC snapshot filtering, through the single-core, the
+        /// sharded and the workload scan paths. This pins the tentpole
+        /// optimization: the line plans are a pure reformulation of the
+        /// per-field access sequence.
+        #[test]
+        fn batched_stepping_is_bit_identical_to_per_field(
+            widths in proptest::collection::vec(1usize..=12, 2..=6),
+            rows in 1u64..250,
+            seed in 0u64..1_000,
+            pick in proptest::collection::vec(any::<bool>(), 6),
+        ) {
+            let columns: Vec<usize> = (0..widths.len()).filter(|&i| pick[i]).collect();
+            prop_assume!(!columns.is_empty());
+            for kind in ALL_KINDS {
+                for engine in [Engine::Optimized, Engine::ShardedOneCore, Engine::WorkloadOneCore] {
+                    let batched =
+                        run_case_stepping(kind, engine, seed, &widths, rows, &columns, true);
+                    let per_field =
+                        run_case_stepping(kind, engine, seed, &widths, rows, &columns, false);
+                    prop_assert_eq!(
+                        &batched,
+                        &per_field,
+                        "diverged for {:?} via {:?}",
+                        kind,
+                        engine
+                    );
+                }
             }
         }
 
