@@ -140,36 +140,50 @@ fn wall_stats_json(secs: &[f64]) -> String {
 }
 
 /// One extra instrumented rep (miss-path profiling enabled) rendering the
-/// per-phase attribution as a JSON `breakdown` object. The rep runs
-/// *after* the headline samples with profiling switched on only for its
-/// duration, so guard costs never contaminate the throughput numbers. The
-/// instrumented wall time, the unattributed remainder (hit fast path,
-/// value reads, the per-row closure) and the calibrated per-guard
-/// overhead are reported alongside the phase shares, so the attribution
-/// is inspectable rather than a black box.
+/// per-phase attribution as a JSON `breakdown` object — through the shared
+/// [`MetricsSection`] serializer, so the bench JSON and the trace layer's
+/// metrics registry speak one schema. The rep runs *after* the headline
+/// samples with profiling switched on only for its duration, so guard
+/// costs never contaminate the throughput numbers. The instrumented wall
+/// time, the unattributed remainder (hit fast path, value reads, the
+/// per-row closure) and the calibrated per-guard overhead are reported
+/// alongside the phase shares, so the attribution is inspectable rather
+/// than a black box.
 fn breakdown_json(sys: &mut System, source: &ScanSource<'_>) -> String {
     use relmem_cache::profile;
+    use relmem_sim::{Metric, MetricsSection};
     profile::reset();
     profile::set_enabled(true);
     let (wall, ..) = timed_scan(sys, source, false);
     profile::set_enabled(false);
     let report = profile::report();
-    let mut phases = String::new();
+    let mut section = MetricsSection::new("breakdown");
     for (i, name) in profile::PHASE_NAMES.iter().enumerate() {
         let p = report.phases[i];
-        phases.push_str(&format!(
-            "    \"{name}\": {{ \"seconds\": {:.6}, \"entries\": {} }},\n",
-            p.seconds, p.entries
+        section.push(Metric::accumulated(
+            *name,
+            "seconds",
+            format!("{:.6}", p.seconds),
+            p.entries,
         ));
     }
     let attributed = report.attributed_seconds();
-    format!(
-        "{{\n{phases}    \"other_seconds\": {:.6},\n    \
-         \"instrumented_wall_secs\": {wall:.6},\n    \
-         \"guard_overhead_seconds\": {:.3e}\n  }}",
-        (wall - attributed).max(0.0),
-        report.guard_overhead_seconds
-    )
+    section.push(Metric::scalar(
+        "other_seconds",
+        "seconds",
+        format!("{:.6}", (wall - attributed).max(0.0)),
+    ));
+    section.push(Metric::scalar(
+        "instrumented_wall_secs",
+        "seconds",
+        format!("{wall:.6}"),
+    ));
+    section.push(Metric::scalar(
+        "guard_overhead_seconds",
+        "seconds",
+        format!("{:.3e}", report.guard_overhead_seconds),
+    ));
+    section.to_json_object(4, 2)
 }
 
 /// Builds an N-core system holding the benchmark table, deterministically,

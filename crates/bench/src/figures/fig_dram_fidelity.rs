@@ -32,7 +32,7 @@ use relmem_core::workload::{QueryStream, Workload, WorkloadOp};
 use relmem_core::{AccessPath, System};
 use relmem_dram::DramStats;
 use relmem_sim::report::{series_table, Series};
-use relmem_sim::{MemoryModel, SimTime};
+use relmem_sim::{MemoryModel, SimTime, Trace};
 use relmem_storage::{ColumnGroup, DataGen, MvccConfig, RowTable, Schema};
 
 use super::Experiment;
@@ -75,7 +75,13 @@ fn build_system(
 
 /// Runs one single-column scan under `model` and returns its timing plus
 /// the DRAM counters.
-fn run_scan(model: MemoryModel, rows: u64, row_bytes: usize, path: Path) -> Point {
+fn run_scan(
+    model: MemoryModel,
+    rows: u64,
+    row_bytes: usize,
+    path: Path,
+    trace: bool,
+) -> (Point, Option<Trace>) {
     let (mut sys, table) = build_system(model, 1, rows, row_bytes);
     let columns = [0usize];
     let var;
@@ -96,12 +102,16 @@ fn run_scan(model: MemoryModel, rows: u64, row_bytes: usize, path: Path) -> Poin
         }
     };
     sys.begin_measurement(access);
+    // Trace only the measured scan, never the table setup.
+    sys.set_tracing(trace);
     let (end, _, scanned) = sys.scan(&source, SimTime::ZERO, |_, _| RowEffect::default());
+    let captured = trace.then(|| sys.take_trace());
     assert_eq!(scanned, rows);
-    Point {
+    let point = Point {
         end,
         dram: sys.dram_stats().clone(),
-    }
+    };
+    (point, captured)
 }
 
 /// Runs the HTAP mix (OLTP point stream on core 0 beside a direct scan on
@@ -149,6 +159,13 @@ fn run_htap(model: MemoryModel, rows: u64, oltp_ops: u64) -> (SimTime, SimTime, 
 /// Runs the fidelity comparison. See the module docs for what each table
 /// shows.
 pub fn fig_dram_fidelity(quick: bool) -> Experiment {
+    fig_dram_fidelity_traced(quick, false).0
+}
+
+/// [`fig_dram_fidelity`], optionally recording a trace of the headline
+/// command-level run — the cycle-accurate 2048-byte-row RME-cold scan,
+/// where activates, precharges, refresh and tFAW stalls are all visible.
+pub fn fig_dram_fidelity_traced(quick: bool, trace: bool) -> (Experiment, Option<Trace>) {
     let rows: u64 = if quick { 8_000 } else { 44_000 };
     // The paper's row-width axis (Figure 11 / Figure 13 shape): 64 B rows
     // stream; 2 KB rows make every line fill open a fresh DRAM row.
@@ -165,11 +182,22 @@ pub fn fig_dram_fidelity(quick: bool) -> Experiment {
 
     let mut total_refreshes = 0u64;
     let mut total_tfaw = 0u64;
+    let mut captured: Option<Trace> = None;
+    let widest = *row_widths.last().expect("sweep is non-empty");
     for &row_bytes in row_widths {
         for (path, name) in [(Path::Direct, "direct"), (Path::RmeCold, "RME cold")] {
             let label = format!("{row_bytes} B rows, {name}");
-            let occ = run_scan(MemoryModel::Occupancy, rows, row_bytes, path);
-            let ca = run_scan(MemoryModel::CycleAccurate, rows, row_bytes, path);
+            let (occ, _) = run_scan(MemoryModel::Occupancy, rows, row_bytes, path, false);
+            let (ca, run_trace) = run_scan(
+                MemoryModel::CycleAccurate,
+                rows,
+                row_bytes,
+                path,
+                trace && row_bytes == widest && path == Path::RmeCold,
+            );
+            if run_trace.is_some() {
+                captured = run_trace;
+            }
             end_occ.push(label.clone(), occ.end.as_millis_f64());
             end_ca.push(label.clone(), ca.end.as_millis_f64());
             ratio.push(
@@ -240,7 +268,7 @@ pub fn fig_dram_fidelity(quick: bool) -> Experiment {
             &htap,
         ),
     ];
-    Experiment {
+    let experiment = Experiment {
         id: "fig_dram_fidelity",
         description: "Occupancy vs cycle-accurate DRAM model on the same workload matrix: \
                       sequential scans agree within a few percent (refresh aside), while \
@@ -248,5 +276,6 @@ pub fn fig_dram_fidelity(quick: bool) -> Experiment {
                       and queueing the fast model cannot express"
             .to_string(),
         tables,
-    }
+    };
+    (experiment, captured)
 }

@@ -45,7 +45,7 @@ use relmem_core::{
     System,
 };
 use relmem_sim::report::{series_table, Series};
-use relmem_sim::{OverloadStats, SimTime};
+use relmem_sim::{OverloadStats, SimTime, Trace};
 use relmem_storage::{ColumnGroup, DataGen, MvccConfig, RowTable, Schema};
 
 use super::Experiment;
@@ -362,6 +362,7 @@ fn oltp_op(table: &RowTable, i: u64, rows: u64) -> WorkloadOp<'_> {
 /// One open-loop run at a given OLTP arrival rate: core 0 takes the
 /// point-query traffic, cores 1–3 take quasi-continuous analytical scans
 /// that degrade from the direct path to the RME path under pressure.
+#[allow(clippy::too_many_arguments)] // private sweep helper
 fn run_htap_open_loop(
     rows: u64,
     oltp_rate: f64,
@@ -370,7 +371,8 @@ fn run_htap_open_loop(
     scan_arrivals: u64,
     scan_dur: SimTime,
     mean_ns: f64,
-) -> OverloadPoint {
+    trace: bool,
+) -> (OverloadPoint, Option<Trace>) {
     let mut sys = System::with_config(SystemConfig {
         cores: 4,
         mem_bytes: ((rows * 64) as usize + (64 << 20)).next_power_of_two(),
@@ -429,27 +431,39 @@ fn run_htap_open_loop(
     };
 
     sys.begin_measurement(AccessPath::DirectRowWise);
+    // Trace only the measured run: tracing goes on after the tables are
+    // built and filled, so setup traffic never reaches the buffers.
+    sys.set_tracing(trace);
     let run = sys
         .run_open_loop(&workload, &cfg, SimTime::ZERO, |_, _, _, _| {
             RowEffect::default()
         })
         .expect("valid open-loop workload");
+    let captured = trace.then(|| sys.take_trace());
     let mut lat = run.oltp_latencies();
     let mut queue = run.queue_delays();
-    OverloadPoint {
+    let point = OverloadPoint {
         p50_us: lat.p50().as_micros_f64(),
         p99_us: lat.p99().as_micros_f64(),
         p999_us: lat.p999().as_micros_f64(),
         max_us: lat.max().as_micros_f64(),
         queue_p99_us: queue.p99().as_micros_f64(),
         stats: run.overload,
-    }
+    };
+    (point, captured)
 }
 
 /// Runs the open-loop arrival-rate sweep: OLTP arrivals from 0.2× to 4×
 /// the calibrated contended service rate, reporting the saturation knee
 /// and how shedding plus graceful degradation behave past it.
 pub fn fig_htap_open_loop(quick: bool) -> Experiment {
+    fig_htap_open_loop_traced(quick, false).0
+}
+
+/// [`fig_htap_open_loop`], optionally recording a trace of the headline
+/// overload point — the 4× arrival-rate run, where shedding, retries and
+/// graceful degradation are all active.
+pub fn fig_htap_open_loop_traced(quick: bool, trace: bool) -> (Experiment, Option<Trace>) {
     let rows: u64 = if quick { 10_000 } else { 40_000 };
     let cal_ops: u64 = if quick { 400 } else { 1_000 };
     let oltp_arrivals: u64 = if quick { 400 } else { 1_200 };
@@ -492,8 +506,10 @@ pub fn fig_htap_open_loop(quick: bool) -> Experiment {
         .collect();
 
     let mut points: Vec<OverloadPoint> = Vec::new();
+    let mut captured: Option<Trace> = None;
+    let last_factor = RATE_FACTORS[RATE_FACTORS.len() - 1];
     for factor in RATE_FACTORS {
-        let point = run_htap_open_loop(
+        let (point, run_trace) = run_htap_open_loop(
             rows,
             base_rate * factor,
             oltp_arrivals,
@@ -501,7 +517,11 @@ pub fn fig_htap_open_loop(quick: bool) -> Experiment {
             scan_arrivals,
             scan_dur,
             mean_ns,
+            trace && factor == last_factor,
         );
+        if run_trace.is_some() {
+            captured = run_trace;
+        }
         let label = format!("{factor}x");
         let s = &point.stats;
         for (series, value) in accounting.iter_mut().zip([
@@ -565,7 +585,7 @@ pub fn fig_htap_open_loop(quick: bool) -> Experiment {
             &latency,
         ),
     ];
-    Experiment {
+    let experiment = Experiment {
         id: "fig_htap_openloop",
         description: format!(
             "Open-loop arrival-rate sweep of the HTAP mix (calibrated contended OLTP service \
@@ -579,5 +599,6 @@ pub fn fig_htap_open_loop(quick: bool) -> Experiment {
             }
         ),
         tables,
-    }
+    };
+    (experiment, captured)
 }

@@ -32,7 +32,7 @@ use relmem_core::system::{RowEffect, SystemConfig};
 use relmem_core::workload::{QueryStream, Workload, WorkloadOp};
 use relmem_core::{AccessPath, System, TxnOp, TxnSpec};
 use relmem_sim::report::{series_table, Series};
-use relmem_sim::SimTime;
+use relmem_sim::{SimTime, Trace};
 use relmem_storage::{DataGen, MvccConfig, RowTable, Schema};
 
 use super::Experiment;
@@ -129,7 +129,8 @@ fn run_txn(
     cores: usize,
     skew_pct: u64,
     mvcc: MvccConfig,
-) -> TxnPoint {
+    trace: bool,
+) -> (TxnPoint, Option<Trace>) {
     let (mut sys, table) = build_system(rows, cores, mvcc);
     let specs: Vec<Vec<TxnSpec>> = (0..cores)
         .map(|core| build_specs(&table, core, txns_per_core, rows, skew_pct))
@@ -148,9 +149,12 @@ fn run_txn(
             .collect(),
     );
     sys.begin_measurement(AccessPath::DirectRowWise);
+    // Trace only the measured run, never the table setup.
+    sys.set_tracing(trace);
     let run = sys
         .run_workload(&workload, SimTime::ZERO, |_, _, _, _| RowEffect::default())
         .expect("valid transactional workload");
+    let captured = trace.then(|| sys.take_trace());
     assert!(run.txn.is_consistent(), "txn accounting: {:?}", run.txn);
     assert_eq!(
         run.txn.committed,
@@ -158,13 +162,14 @@ fn run_txn(
         "every transfer must eventually commit: {:?}",
         run.txn
     );
-    TxnPoint {
+    let point = TxnPoint {
         committed: run.txn.committed,
         begun: run.txn.begun,
         abort_rate: run.txn.conflict_abort_rate(),
         ktxn_s: run.txn.committed as f64 / run.end.as_nanos_f64() * 1e9 / 1e3,
         end: run.end,
-    }
+    };
+    (point, captured)
 }
 
 /// The flat expansion of one core's conflict-free specs: each
@@ -211,6 +216,13 @@ fn run_flat_baseline(rows: u64, txns: u64) -> SimTime {
 /// Runs the transactional contention sweep: hot-row skew × core count,
 /// asserting abort-rate monotonicity and the conflict-free-is-free bound.
 pub fn fig_txn(quick: bool) -> Experiment {
+    fig_txn_traced(quick, false).0
+}
+
+/// [`fig_txn`], optionally recording a trace of the headline contention
+/// point — 4 cores at 100 % hot-row skew, where conflict aborts and
+/// retries dominate.
+pub fn fig_txn_traced(quick: bool, trace: bool) -> (Experiment, Option<Trace>) {
     let rows: u64 = if quick { 4_000 } else { 20_000 };
     let txns_per_core: u64 = if quick { 30 } else { 120 };
 
@@ -227,10 +239,22 @@ pub fn fig_txn(quick: bool) -> Experiment {
         .map(|c| Series::new(format!("wasted attempts ({c} cores)")))
         .collect();
 
+    let mut captured: Option<Trace> = None;
+    let (last_cores, last_skew) = (CORES[CORES.len() - 1], SKEWS[SKEWS.len() - 1]);
     for (ci, &cores) in CORES.iter().enumerate() {
         let mut prev_rate = -1.0f64;
         for skew in SKEWS {
-            let point = run_txn(rows, txns_per_core, cores, skew, MvccConfig::Enabled);
+            let (point, run_trace) = run_txn(
+                rows,
+                txns_per_core,
+                cores,
+                skew,
+                MvccConfig::Enabled,
+                trace && cores == last_cores && skew == last_skew,
+            );
+            if run_trace.is_some() {
+                captured = run_trace;
+            }
             if cores == 1 {
                 assert_eq!(
                     point.begun, point.committed,
@@ -260,7 +284,7 @@ pub fn fig_txn(quick: bool) -> Experiment {
     // harness pins the end-to-end number it reports. The MVCC sweep above
     // deliberately pays more — intent checks and commit durability are
     // real traffic.
-    let txn_baseline = run_txn(rows, txns_per_core, 1, 0, MvccConfig::Disabled);
+    let (txn_baseline, _) = run_txn(rows, txns_per_core, 1, 0, MvccConfig::Disabled, false);
     let flat_end = run_flat_baseline(rows, txns_per_core);
     let ratio = txn_baseline.end.as_nanos_f64() / flat_end.as_nanos_f64();
     assert!(
@@ -288,7 +312,7 @@ pub fn fig_txn(quick: bool) -> Experiment {
             &wasted,
         ),
     ];
-    Experiment {
+    let experiment = Experiment {
         id: "fig_txn",
         description: format!(
             "Multi-row MVCC transactions under contention: transfer transactions per core with \
@@ -297,5 +321,6 @@ pub fn fig_txn(quick: bool) -> Experiment {
              (measured ratio {ratio:.4})"
         ),
         tables,
-    }
+    };
+    (experiment, captured)
 }

@@ -23,12 +23,13 @@ pub use fig11::fig11;
 pub use fig12::fig12;
 pub use fig13::fig13;
 pub use fig13_multicore::fig13_multicore;
-pub use fig_dram_fidelity::fig_dram_fidelity;
-pub use fig_htap::{fig_htap, fig_htap_open_loop};
-pub use fig_txn::fig_txn;
+pub use fig_dram_fidelity::{fig_dram_fidelity, fig_dram_fidelity_traced};
+pub use fig_htap::{fig_htap, fig_htap_open_loop, fig_htap_open_loop_traced};
+pub use fig_txn::{fig_txn, fig_txn_traced};
 pub use tables::{table1, table2};
 
 use relmem_sim::report::Table;
+use relmem_sim::Trace;
 
 /// A reproduced experiment: an identifier, a description of what the paper
 /// shows, and one or more result tables.
@@ -95,6 +96,26 @@ pub fn experiment_by_id(id: &str, quick: bool, full: bool) -> Option<Experiment>
         "table1" => Some(table1()),
         "table2" => Some(table2()),
         _ => None,
+    }
+}
+
+/// Like [`experiment_by_id`], but additionally records a simulated-time
+/// trace of the experiment's designated headline run when `trace` is set.
+/// Three experiments have one: `fig_htap_openloop` (the 4× overload
+/// point), `fig_txn` (4 cores at 100 % hot-row skew) and
+/// `fig_dram_fidelity` (the cycle-accurate widest-row RME-cold scan).
+/// Every other experiment runs untraced and returns `None` for the trace.
+pub fn experiment_by_id_traced(
+    id: &str,
+    quick: bool,
+    full: bool,
+    trace: bool,
+) -> Option<(Experiment, Option<Trace>)> {
+    match id {
+        "fig_htap_openloop" => Some(fig_htap_open_loop_traced(quick, trace)),
+        "fig_txn" => Some(fig_txn_traced(quick, trace)),
+        "fig_dram_fidelity" => Some(fig_dram_fidelity_traced(quick, trace)),
+        _ => experiment_by_id(id, quick, full).map(|e| (e, None)),
     }
 }
 

@@ -14,6 +14,8 @@ pub mod baseline;
 pub mod figures;
 
 pub use figures::{
-    all_experiments, experiment_by_id, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13,
-    fig13_multicore, fig_dram_fidelity, fig_htap, fig_htap_open_loop, table1, table2, Experiment,
+    all_experiments, experiment_by_id, experiment_by_id_traced, fig06, fig07, fig08, fig09, fig10,
+    fig11, fig12, fig13, fig13_multicore, fig_dram_fidelity, fig_dram_fidelity_traced, fig_htap,
+    fig_htap_open_loop, fig_htap_open_loop_traced, fig_txn, fig_txn_traced, table1, table2,
+    Experiment,
 };

@@ -50,7 +50,7 @@
 //! let entries linger until a threshold purge, over-counting
 //! `prefetch_hits`).
 
-use relmem_sim::{PlatformConfig, SimTime};
+use relmem_sim::{PlatformConfig, SimTime, TraceEvent, TraceEventKind, Tracer, Track};
 
 use crate::cache::Cache;
 use crate::prefetch::StreamPrefetcher;
@@ -235,6 +235,8 @@ pub struct CoreFrontend {
     /// the shared L2's per-core breakdown.
     core: usize,
     stats: HierarchyStats,
+    /// Observability hook (no-op unless recording; see `relmem_sim::trace`).
+    tracer: Tracer,
 }
 
 impl CoreFrontend {
@@ -262,12 +264,18 @@ impl CoreFrontend {
             fast_path: true,
             core,
             stats: HierarchyStats::default(),
+            tracer: Tracer::new(),
         }
     }
 
     /// This core's index in the cluster.
     pub fn core(&self) -> usize {
         self.core
+    }
+
+    /// This core's trace hook (recording is controlled by the system).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Cache line size in bytes.
@@ -549,6 +557,16 @@ impl CoreFrontend {
                     if evicted_dirty {
                         let _p = PROF.then(|| profile::phase(profile::Phase::BackendFill));
                         backend.writeback_line(evicted, l2_lookup_done);
+                        let core = self.core as u32;
+                        self.tracer.emit(|| {
+                            TraceEvent::instant(
+                                Track::Core(core),
+                                TraceEventKind::Writeback,
+                                l2_lookup_done,
+                                evicted,
+                                0,
+                            )
+                        });
                     }
                 }
                 // Demand fill from the backend, subject to the
@@ -560,6 +578,21 @@ impl CoreFrontend {
                     backend.fill_line(line, issue)
                 };
                 self.record_inflight(arrival);
+                // Demand fills only: prefetch fills overlap demand windows
+                // freely, so tracing them as sync spans would break the
+                // per-track nesting invariant. Their DRAM-side activity is
+                // on the bank tracks either way.
+                let core = self.core as u32;
+                self.tracer.emit(|| {
+                    TraceEvent::span(
+                        Track::Core(core),
+                        TraceEventKind::LineFill,
+                        issue,
+                        arrival,
+                        line,
+                        0,
+                    )
+                });
                 AccessOutcome {
                     completion: arrival.max(l2_lookup_done),
                     level: HitLevel::Memory,
@@ -618,6 +651,16 @@ impl CoreFrontend {
             if evicted_dirty {
                 let _p = PROF.then(|| profile::phase(profile::Phase::BackendFill));
                 backend.writeback_line(evicted, lookup_start);
+                let core = self.core as u32;
+                self.tracer.emit(|| {
+                    TraceEvent::instant(
+                        Track::Core(core),
+                        TraceEventKind::Writeback,
+                        lookup_start,
+                        evicted,
+                        0,
+                    )
+                });
             }
         }
         self.stats.prefetches_issued += 1;

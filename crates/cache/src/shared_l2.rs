@@ -42,7 +42,7 @@
 //! assert_eq!(SharedL2::new(&cfg, 1).is_contended(), false);
 //! ```
 
-use relmem_sim::{MultiResource, PlatformConfig, SimTime};
+use relmem_sim::{MultiResource, PlatformConfig, SimTime, TraceEvent, TraceEventKind, Tracer, Track};
 
 use crate::cache::Cache;
 
@@ -95,6 +95,8 @@ pub struct SharedL2 {
     stats: SharedL2Stats,
     /// Per-core traffic attribution (indexed by core, grown on demand).
     per_core: Vec<CoreL2Share>,
+    /// Observability hook (no-op unless recording; see `relmem_sim::trace`).
+    tracer: Tracer,
 }
 
 impl SharedL2 {
@@ -112,7 +114,13 @@ impl SharedL2 {
             bank_occupancy: cfg.cpu_clock().cycles(cfg.l2_bank_occupancy_cycles),
             stats: SharedL2Stats::default(),
             per_core: vec![CoreL2Share::default(); cores],
+            tracer: Tracer::new(),
         }
+    }
+
+    /// The cache's trace hook (recording is controlled by the system).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Whether the bank contention model is active.
@@ -167,6 +175,15 @@ impl SharedL2 {
             self.per_core[core].contended_lookups += 1;
             self.per_core[core].contention_delay += waited;
         }
+        self.tracer.emit(|| {
+            TraceEvent::instant(
+                Track::L2Bank(bank as u32),
+                TraceEventKind::L2BankBook,
+                start,
+                core as u64,
+                waited.as_picos(),
+            )
+        });
         (start, waited)
     }
 

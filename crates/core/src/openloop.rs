@@ -62,7 +62,10 @@ use std::collections::VecDeque;
 
 use rand::{rngs::StdRng, RngCore, SeedableRng};
 use relmem_cache::HierarchyStats;
-use relmem_sim::{DegradeTransition, LatencyProfile, OverloadStats, SimTime, TxnStats};
+use relmem_sim::{
+    DegradeTransition, LatencyProfile, OverloadStats, SimTime, TraceEvent, TraceEventKind, Tracer,
+    Track, TxnStats,
+};
 
 use crate::system::{RowEffect, System};
 use crate::txn::TxnAbort;
@@ -374,8 +377,17 @@ impl DegradeState {
     }
 
     /// Feeds one admission/shed observation into the hysteresis, recording
-    /// a transition in `stats` when the mode flips.
-    fn observe(&mut self, at: SimTime, shed: bool, depth: usize, stats: &mut OverloadStats) {
+    /// a transition in `stats` — and, mirrored at the exact same
+    /// timestamp, a [`TraceEventKind::Degrade`] instant — when the mode
+    /// flips.
+    fn observe(
+        &mut self,
+        at: SimTime,
+        shed: bool,
+        depth: usize,
+        stats: &mut OverloadStats,
+        tracer: &mut Tracer,
+    ) {
         let Some(p) = self.policy else {
             return;
         };
@@ -396,6 +408,7 @@ impl DegradeState {
             stats
                 .transitions
                 .push(DegradeTransition { at, degraded: true });
+            tracer.emit(|| TraceEvent::instant(Track::System, TraceEventKind::Degrade, at, 1, 0));
         } else if self.degraded && self.calm_run >= p.clear_after.max(1) {
             self.degraded = false;
             self.calm_run = 0;
@@ -403,6 +416,7 @@ impl DegradeState {
                 at,
                 degraded: false,
             });
+            tracer.emit(|| TraceEvent::instant(Track::System, TraceEventKind::Degrade, at, 0, 0));
         }
     }
 }
@@ -651,7 +665,15 @@ impl System {
                 cs.st.now = cs.st.now.max(t);
             }
         }
-        drain_admissions(cs, cfg, stats, degrade, &mut self.txn_rt.stats);
+        drain_admissions(
+            cs,
+            cfg,
+            stats,
+            degrade,
+            &mut self.txn_rt.stats,
+            core as u32,
+            &mut self.tracer,
+        );
 
         // One row of the in-progress scan, if any.
         if self.step_scan_row(core, &mut cs.st, observer) {
@@ -677,6 +699,17 @@ impl System {
             if let Some(timeout) = cfg.timeout {
                 if waited > timeout {
                     stats.timed_out += 1;
+                    let (at, template, attempt) =
+                        (cs.st.now, p.template as u64, u64::from(p.attempt));
+                    self.tracer.emit(|| {
+                        TraceEvent::instant(
+                            Track::Core(core as u32),
+                            TraceEventKind::OpTimeout,
+                            at,
+                            template,
+                            attempt,
+                        )
+                    });
                     if p.attempt < cfg.max_retries {
                         let backoff = cfg.retry_backoff.scaled(1u64 << p.attempt.min(20));
                         cs.schedule_retry(Pending {
@@ -697,7 +730,18 @@ impl System {
                 if waited > budget {
                     stats.shed_deadline += 1;
                     account_txn_drop(cs, p.template, &mut self.txn_rt.stats);
-                    degrade.observe(cs.st.now, true, cs.queue.len(), stats);
+                    let (at, template, delay) =
+                        (cs.st.now, p.template as u64, waited.as_picos());
+                    self.tracer.emit(|| {
+                        TraceEvent::instant(
+                            Track::Core(core as u32),
+                            TraceEventKind::OpShedDeadline,
+                            at,
+                            template,
+                            delay,
+                        )
+                    });
+                    degrade.observe(cs.st.now, true, cs.queue.len(), stats, &mut self.tracer);
                     continue;
                 }
             }
@@ -739,12 +783,15 @@ fn account_txn_drop(cs: &CoreState<'_, '_>, template: usize, txn: &mut TxnStats)
 
 /// Admits (or rejects) every pending arrival and retry at or before the
 /// core's clock, feeding each observation into the degradation hysteresis.
+#[allow(clippy::too_many_arguments)] // private scheduler helper
 fn drain_admissions(
     cs: &mut CoreState<'_, '_>,
     cfg: &AdmissionConfig,
     stats: &mut OverloadStats,
     degrade: &mut DegradeState,
     txn: &mut TxnStats,
+    core: u32,
+    tracer: &mut Tracer,
 ) {
     loop {
         let first = (cs.remaining > 0).then_some(cs.next_arrival);
@@ -780,15 +827,44 @@ fn drain_admissions(
                 attempt: 0,
             }
         };
+        let (template, attempt) = (p.template as u64, u64::from(p.attempt));
+        tracer.emit(|| {
+            TraceEvent::instant(
+                Track::Core(core),
+                TraceEventKind::OpArrival,
+                at,
+                template,
+                attempt,
+            )
+        });
         if cs.queue.len() >= cfg.queue_capacity {
             stats.shed_queue_full += 1;
             account_txn_drop(cs, p.template, txn);
-            degrade.observe(at, true, cs.queue.len(), stats);
+            tracer.emit(|| {
+                TraceEvent::instant(
+                    Track::Core(core),
+                    TraceEventKind::OpShedQueueFull,
+                    at,
+                    template,
+                    0,
+                )
+            });
+            degrade.observe(at, true, cs.queue.len(), stats, tracer);
         } else {
             cs.queue.push_back(p);
             stats.admitted += 1;
             stats.max_queue_depth = stats.max_queue_depth.max(cs.queue.len() as u64);
-            degrade.observe(at, false, cs.queue.len(), stats);
+            let depth = cs.queue.len() as u64;
+            tracer.emit(|| {
+                TraceEvent::instant(
+                    Track::Core(core),
+                    TraceEventKind::OpAdmitted,
+                    at,
+                    template,
+                    depth,
+                )
+            });
+            degrade.observe(at, false, cs.queue.len(), stats, tracer);
         }
     }
 }
@@ -862,23 +938,24 @@ mod tests {
             trigger_after: 2,
             clear_after: 3,
         }));
+        let mut tr = Tracer::new();
         // One pressure observation is not enough.
-        st.observe(SimTime::from_nanos(1), true, 0, &mut stats);
+        st.observe(SimTime::from_nanos(1), true, 0, &mut stats, &mut tr);
         assert!(!st.degraded);
         // A calm observation in between resets the run.
-        st.observe(SimTime::from_nanos(2), false, 0, &mut stats);
-        st.observe(SimTime::from_nanos(3), false, 5, &mut stats);
+        st.observe(SimTime::from_nanos(2), false, 0, &mut stats, &mut tr);
+        st.observe(SimTime::from_nanos(3), false, 5, &mut stats, &mut tr);
         assert!(!st.degraded);
-        st.observe(SimTime::from_nanos(4), true, 0, &mut stats);
+        st.observe(SimTime::from_nanos(4), true, 0, &mut stats, &mut tr);
         assert!(st.degraded, "two consecutive pressure events degrade");
         // Three consecutive calm observations clear it; a depth between
         // the watermarks counts as neither.
-        st.observe(SimTime::from_nanos(5), false, 0, &mut stats);
-        st.observe(SimTime::from_nanos(6), false, 2, &mut stats);
-        st.observe(SimTime::from_nanos(7), false, 0, &mut stats);
-        st.observe(SimTime::from_nanos(8), false, 1, &mut stats);
+        st.observe(SimTime::from_nanos(5), false, 0, &mut stats, &mut tr);
+        st.observe(SimTime::from_nanos(6), false, 2, &mut stats, &mut tr);
+        st.observe(SimTime::from_nanos(7), false, 0, &mut stats, &mut tr);
+        st.observe(SimTime::from_nanos(8), false, 1, &mut stats, &mut tr);
         assert!(st.degraded);
-        st.observe(SimTime::from_nanos(9), false, 0, &mut stats);
+        st.observe(SimTime::from_nanos(9), false, 0, &mut stats, &mut tr);
         assert!(!st.degraded, "three consecutive calm events restore");
         assert_eq!(
             stats.transitions,
@@ -899,8 +976,9 @@ mod tests {
     fn no_policy_never_degrades() {
         let mut stats = OverloadStats::default();
         let mut st = DegradeState::new(None);
+        let mut tr = Tracer::new();
         for i in 0..100 {
-            st.observe(SimTime::from_nanos(i), true, 1_000, &mut stats);
+            st.observe(SimTime::from_nanos(i), true, 1_000, &mut stats, &mut tr);
         }
         assert!(!st.degraded);
         assert!(stats.transitions.is_empty());

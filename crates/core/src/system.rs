@@ -52,7 +52,7 @@
 use relmem_cache::{CoreFrontend, HierarchyStats, MemoryBackend, SharedL2, SharedL2Stats};
 use relmem_dram::{DramModel, MemRequest, PhysicalMemory, Requestor};
 use relmem_rme::{HwRevision, RmeEngine, TableGeometry};
-use relmem_sim::{PlatformConfig, SimTime};
+use relmem_sim::{PlatformConfig, SimTime, Trace, Tracer};
 use relmem_storage::{
     ColumnGroup, ColumnarTable, MvccConfig, RowTable, Schema, Snapshot, StorageError,
 };
@@ -185,6 +185,10 @@ pub struct System {
     /// `run_workload` / `run_open_loop`.
     pub(crate) txn_rt: TxnRuntime,
     ephemeral_cursor: u64,
+    /// System-side trace hook: op lifecycle and txn events (core tracks)
+    /// plus degradation transitions (system track). A no-op unless
+    /// [`Self::set_tracing`] enables recording; timing is never affected.
+    pub(crate) tracer: Tracer,
     /// Whether the event-driven memory path is active (see
     /// [`SystemConfig::event_driven`]).
     event_driven: bool,
@@ -239,6 +243,7 @@ impl System {
             cfg,
             txn_rt: TxnRuntime::default(),
             ephemeral_cursor: EPHEMERAL_REGION_BASE,
+            tracer: Tracer::new(),
             event_driven: false,
             batched_stepping: true,
         };
@@ -283,6 +288,40 @@ impl System {
     /// for the golden-trace suite and ad-hoc inspection).
     pub fn dram_stats(&self) -> &relmem_dram::DramStats {
         self.dram.stats()
+    }
+
+    /// Enables or disables trace recording across every component. Off by
+    /// default: the hooks compile to one predictable branch per site and
+    /// never allocate or borrow timing state, so the untraced hot path is
+    /// unchanged. Enabling clears any previously buffered events.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+        for core in &mut self.cores {
+            core.tracer_mut().set_enabled(on);
+        }
+        self.l2.tracer_mut().set_enabled(on);
+        self.dram.tracer_mut().set_enabled(on);
+        self.engine.tracer_mut().set_enabled(on);
+    }
+
+    /// Whether trace recording is currently on.
+    pub fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Drains every component's recorded events into one time-sorted
+    /// [`Trace`]. Recording stays in whatever state it was; the buffers are
+    /// left empty, so consecutive calls partition the run.
+    pub fn take_trace(&mut self) -> Trace {
+        let mut buffers = Vec::with_capacity(self.cores.len() + 4);
+        buffers.push(self.tracer.take());
+        for core in &mut self.cores {
+            buffers.push(core.tracer_mut().take());
+        }
+        buffers.push(self.l2.tracer_mut().take());
+        buffers.push(self.dram.tracer_mut().take());
+        buffers.push(self.engine.tracer_mut().take());
+        Trace::merge(buffers)
     }
 
     /// Which DRAM timing model this system runs

@@ -79,7 +79,7 @@
 use std::collections::HashMap;
 
 use relmem_dram::{MemRequest, Requestor};
-use relmem_sim::{SimTime, TxnStats};
+use relmem_sim::{SimTime, TraceEvent, TraceEventKind, Track, TxnStats};
 use relmem_storage::mvcc::encode_header;
 use relmem_storage::{ColumnarTable, Row, RowTable, Snapshot, Timestamp, Value};
 
@@ -259,6 +259,7 @@ impl System {
     /// execute one [`TxnOp`] (or the commit) each.
     pub(crate) fn begin_txn<'a>(
         &mut self,
+        core: usize,
         st: &mut StreamState<'a, '_>,
         op_idx: usize,
         spec: &'a TxnSpec<'a>,
@@ -266,6 +267,10 @@ impl System {
         self.txn_rt.stats.begun += 1;
         let id = self.txn_rt.next_id;
         self.txn_rt.next_id += 1;
+        let at = st.now;
+        self.tracer.emit(|| {
+            TraceEvent::instant(Track::Core(core as u32), TraceEventKind::TxnBegin, at, id, 0)
+        });
         st.active_txn = Some(ActiveTxn {
             spec,
             op_idx,
@@ -394,13 +399,19 @@ impl System {
             attempt: txn.attempt,
             at: st.now,
         });
-        st.outcomes.push(OpOutcome {
+        let (id, at) = (txn.id, st.now);
+        self.tracer.emit(|| {
+            TraceEvent::instant(Track::Core(core as u32), TraceEventKind::TxnAbort, at, id, 0)
+        });
+        let outcome = OpOutcome {
             op: txn.op_idx,
             kind: OpKind::TxnAbortConflict,
             start: txn.start,
             end: st.now,
             rows: txn.rows,
-        });
+        };
+        self.emit_op_span(core, &outcome);
+        st.outcomes.push(outcome);
         if !self.txn_rt.open_loop && txn.attempt < txn.spec.retries {
             // In-place retry: the stream immediately re-runs the
             // transaction from its first op as a fresh attempt. Charges
@@ -413,6 +424,16 @@ impl System {
             txn.intents.clear();
             txn.start = st.now;
             txn.rows = 0;
+            let (id, attempt, at) = (txn.id, u64::from(txn.attempt), st.now);
+            self.tracer.emit(|| {
+                TraceEvent::instant(
+                    Track::Core(core as u32),
+                    TraceEventKind::TxnBegin,
+                    at,
+                    id,
+                    attempt,
+                )
+            });
             st.active_txn = Some(txn);
         }
     }
@@ -465,19 +486,26 @@ impl System {
                 attempt: txn.attempt,
                 at: st.now,
             });
-            st.outcomes.push(OpOutcome {
+            let (id, at) = (txn.id, st.now);
+            self.tracer.emit(|| {
+                TraceEvent::instant(Track::Core(core as u32), TraceEventKind::TxnAbort, at, id, 1)
+            });
+            let outcome = OpOutcome {
                 op: txn.op_idx,
                 kind: OpKind::TxnAbortShed,
                 start: txn.start,
                 end: st.now,
                 rows: txn.rows,
-            });
+            };
+            self.emit_op_span(core, &outcome);
+            st.outcomes.push(outcome);
             return;
         }
 
         let cts = self.txn_rt.next_commit_ts;
         self.txn_rt.next_commit_ts += 1;
         let intents = std::mem::take(&mut txn.intents);
+        let num_intents = intents.len() as u64;
         for intent in intents {
             match intent {
                 TxnOp::Update {
@@ -524,13 +552,25 @@ impl System {
             self.txn_rt.claims.remove(&key);
         }
         self.txn_rt.stats.committed += 1;
-        st.outcomes.push(OpOutcome {
+        let (id, at) = (txn.id, st.now);
+        self.tracer.emit(|| {
+            TraceEvent::instant(
+                Track::Core(core as u32),
+                TraceEventKind::TxnCommit,
+                at,
+                id,
+                num_intents,
+            )
+        });
+        let outcome = OpOutcome {
             op: txn.op_idx,
             kind: OpKind::TxnCommit,
             start: txn.start,
             end: st.now,
             rows: txn.rows,
-        });
+        };
+        self.emit_op_span(core, &outcome);
+        st.outcomes.push(outcome);
     }
 
     /// Forces 16 bytes at `addr` (a version header) to DRAM: one cache

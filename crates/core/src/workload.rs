@@ -78,7 +78,7 @@
 use std::fmt;
 
 use relmem_cache::HierarchyStats;
-use relmem_sim::{LatencyProfile, SimTime, TxnStats};
+use relmem_sim::{LatencyProfile, SimTime, TraceEvent, TraceEventKind, Track, TxnStats};
 use relmem_storage::{ColumnType, RowTable, Snapshot, Timestamp, Value};
 
 use crate::stepper::ScanJob;
@@ -825,6 +825,24 @@ impl System {
         self.start_op(core, st, op_idx, op, observer);
     }
 
+    /// Records a completed op as a span on its core's trace track
+    /// (arg0 = op ordinal in its stream, arg1 = rows touched). Per-core
+    /// op servicing is sequential, so these spans never overlap.
+    #[inline(always)]
+    pub(crate) fn emit_op_span(&mut self, core: usize, out: &OpOutcome) {
+        let (op, rows, start, end) = (out.op as u64, out.rows, out.start, out.end);
+        self.tracer.emit(|| {
+            TraceEvent::span(
+                Track::Core(core as u32),
+                TraceEventKind::OpSpan,
+                start,
+                end,
+                op,
+                rows,
+            )
+        });
+    }
+
     /// Advances one row of the stream's active scan, recording the
     /// [`OpOutcome`] when the scan completes. Returns `false` — and does
     /// nothing — if no scan is active.
@@ -858,14 +876,16 @@ impl System {
             st.rows += 1;
         }
         if active.next_row >= active.job.rows() {
-            st.outcomes.push(OpOutcome {
+            let outcome = OpOutcome {
                 op: active.op,
                 kind: OpKind::OlapScan,
                 start: active.start,
                 end: st.now,
                 rows: active.rows_scanned,
-            });
+            };
             st.active = None;
+            self.emit_op_span(core, &outcome);
+            st.outcomes.push(outcome);
         }
         true
     }
@@ -903,13 +923,15 @@ impl System {
                     self.batched_stepping,
                 );
                 if job.rows() == 0 {
-                    st.outcomes.push(OpOutcome {
+                    let outcome = OpOutcome {
                         op: op_idx,
                         kind: OpKind::OlapScan,
                         start: st.now,
                         end: st.now,
                         rows: 0,
-                    });
+                    };
+                    self.emit_op_span(core, &outcome);
+                    st.outcomes.push(outcome);
                     return;
                 }
                 st.values.resize(job.num_columns(), 0);
@@ -928,6 +950,7 @@ impl System {
                 row,
             } => {
                 let outcome = self.point_lookup(core, st, op_idx, table, columns, *row, observer);
+                self.emit_op_span(core, &outcome);
                 st.outcomes.push(outcome);
             }
             WorkloadOp::PointUpdate {
@@ -938,26 +961,30 @@ impl System {
             } => {
                 let outcome =
                     self.point_update(core, st, op_idx, table, *row, *column, *value, observer);
+                self.emit_op_span(core, &outcome);
                 st.outcomes.push(outcome);
             }
             WorkloadOp::PointDelete { table, row, ts } => {
                 let outcome = self.point_delete(core, st, op_idx, table, *row, *ts);
+                self.emit_op_span(core, &outcome);
                 st.outcomes.push(outcome);
             }
             WorkloadOp::TakeSnapshot { ts } => {
                 st.snapshot = Some(Snapshot::at(*ts));
-                st.outcomes.push(OpOutcome {
+                let outcome = OpOutcome {
                     op: op_idx,
                     kind: OpKind::TakeSnapshot,
                     start: st.now,
                     end: st.now,
                     rows: 0,
-                });
+                };
+                self.emit_op_span(core, &outcome);
+                st.outcomes.push(outcome);
             }
             WorkloadOp::Txn { spec } => {
                 // Zero-time begin; subsequent units execute the ops and
                 // the commit (see `step_txn_unit`).
-                self.begin_txn(st, op_idx, spec);
+                self.begin_txn(core, st, op_idx, spec);
             }
         }
     }

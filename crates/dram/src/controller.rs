@@ -27,7 +27,7 @@
 //! [`Requestor`] tag so traffic can be attributed per core in
 //! [`DramStats::per_core_accesses`].
 
-use relmem_sim::{DramConfig, PriorityResource, SimTime};
+use relmem_sim::{DramConfig, PriorityResource, SimTime, TraceEvent, TraceEventKind, Tracer, Track};
 
 use crate::address::AddressMapping;
 use crate::request::{Completion, MemRequest, ReqKind, RequestId, Requestor};
@@ -166,6 +166,11 @@ impl CompletionQueue {
         self.pending.len()
     }
 
+    /// The buffer the last drain produced (unchanged until the next drain).
+    pub(crate) fn drained(&self) -> &[(RequestId, Completion)] {
+        &self.drained
+    }
+
     /// Clears both buffers and restarts id allocation.
     pub(crate) fn reset(&mut self) {
         self.next_id = 0;
@@ -246,6 +251,8 @@ pub struct DramController {
     bus_shift: Option<u32>,
     queue: CompletionQueue,
     stats: DramStats,
+    /// Observability hook (no-op unless recording; see `relmem_sim::trace`).
+    tracer: Tracer,
 }
 
 impl DramController {
@@ -268,7 +275,13 @@ impl DramController {
             cfg,
             queue: CompletionQueue::default(),
             stats: DramStats::default(),
+            tracer: Tracer::new(),
         }
+    }
+
+    /// The controller's trace hook (recording is controlled by the system).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// The configuration this controller was built with.
@@ -356,7 +369,19 @@ impl DramController {
     /// `now`, ordered by `(finish, id)`. Each completion is returned exactly
     /// once.
     pub fn drain_completions(&mut self, now: SimTime) -> &[(RequestId, Completion)] {
-        self.queue.drain_due(now)
+        let delivered = self.queue.drain_due(now).len() as u64;
+        if delivered > 0 {
+            self.tracer.emit(|| {
+                TraceEvent::instant(
+                    Track::System,
+                    TraceEventKind::CompletionDrain,
+                    now,
+                    delivered,
+                    0,
+                )
+            });
+        }
+        self.queue.drained()
     }
 
     /// Drains every outstanding completion regardless of finish time (end
@@ -413,7 +438,8 @@ impl DramController {
 
         for (addr, len) in chunks {
             let coord = self.mapping.decode(addr);
-            let row_hit = self.open_rows[coord.bank] == Some(coord.row);
+            let prev_row = self.open_rows[coord.bank];
+            let row_hit = prev_row == Some(coord.row);
             // Occupancy and latency differ: back-to-back row-buffer hits
             // pipeline at the column-to-column rate (tCCD) even though each
             // access still observes the full CAS latency; a row miss keeps
@@ -447,6 +473,51 @@ impl DramController {
             } else {
                 self.bus.acquire(data_ready, transfer)
             };
+
+            if !row_hit {
+                // The occupancy model folds PRE/ACT into the miss latency;
+                // the trace still marks them so both models draw the same
+                // command picture on a bank track.
+                let bank = coord.bank as u32;
+                if let Some(old) = prev_row {
+                    self.tracer.emit(|| {
+                        TraceEvent::instant(
+                            Track::DramBank(bank),
+                            TraceEventKind::DramPrecharge,
+                            bank_start,
+                            old,
+                            0,
+                        )
+                    });
+                }
+                self.tracer.emit(|| {
+                    TraceEvent::instant(
+                        Track::DramBank(bank),
+                        TraceEventKind::DramActivate,
+                        bank_start,
+                        coord.row,
+                        0,
+                    )
+                });
+            }
+            {
+                let kind = if req.kind == ReqKind::Write {
+                    TraceEventKind::DramWrite
+                } else {
+                    TraceEventKind::DramRead
+                };
+                let bank = coord.bank as u32;
+                self.tracer.emit(|| {
+                    TraceEvent::span(
+                        Track::DramBank(bank),
+                        kind,
+                        bank_start,
+                        bus_end,
+                        addr,
+                        row_hit as u64,
+                    )
+                });
+            }
 
             self.stats.accesses += 1;
             if req.kind == ReqKind::Write {
@@ -523,6 +594,17 @@ impl DramController {
             }
             Requestor::Rme => self.stats.rme_accesses += 1,
         }
+        let bank = self.streak.bank as u32;
+        self.tracer.emit(|| {
+            TraceEvent::span(
+                Track::DramBank(bank),
+                TraceEventKind::DramRead,
+                bank_start,
+                bus_end,
+                req.addr,
+                1,
+            )
+        });
         self.streak.next_addr = req.addr + len as u64;
         Completion {
             start: bank_start,

@@ -43,7 +43,7 @@
 //! RME's fetch units — runs unchanged on either model via
 //! [`DramModel`](crate::DramModel).
 
-use relmem_sim::{DramConfig, Resource, SimTime};
+use relmem_sim::{DramConfig, Resource, SimTime, TraceEvent, TraceEventKind, Tracer, Track};
 
 use crate::address::AddressMapping;
 use crate::controller::{CompletionQueue, DramStats};
@@ -164,6 +164,8 @@ pub struct CycleAccurateDram {
     /// [`reset`](Self::reset) — it is a mode, not timing state.
     event_mode: bool,
     stats: DramStats,
+    /// Observability hook (no-op unless recording; see `relmem_sim::trace`).
+    tracer: Tracer,
 }
 
 impl CycleAccurateDram {
@@ -182,7 +184,13 @@ impl CycleAccurateDram {
             mapping,
             cfg,
             stats: DramStats::default(),
+            tracer: Tracer::new(),
         }
+    }
+
+    /// The controller's trace hook (recording is controlled by the system).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// The configuration this controller was built with.
@@ -249,12 +257,24 @@ impl CycleAccurateDram {
         let due = now.as_picos() / t_refi.as_picos();
         let b = &mut self.banks[bank];
         if due > b.refresh_applied {
-            self.stats.refreshes += due - b.refresh_applied;
+            let applied = due - b.refresh_applied;
+            self.stats.refreshes += applied;
             b.refresh_applied = due;
             b.open_row = None;
-            let recovery = SimTime::from_picos(due * t_refi.as_picos()) + self.cfg.t_rfc;
+            let window_start = SimTime::from_picos(due * t_refi.as_picos());
+            let recovery = window_start + self.cfg.t_rfc;
             b.act_ready = b.act_ready.max(recovery);
             b.cmd_ready = b.cmd_ready.max(recovery);
+            let t_rfc = self.cfg.t_rfc;
+            self.tracer.emit(|| {
+                TraceEvent::instant(
+                    Track::DramBank(bank as u32),
+                    TraceEventKind::DramRefresh,
+                    window_start,
+                    applied,
+                    t_rfc.as_picos(),
+                )
+            });
         }
     }
 
@@ -270,6 +290,15 @@ impl CycleAccurateDram {
             return (ready, outstanding);
         }
         self.stats.queue_stalls += 1;
+        self.tracer.emit(|| {
+            TraceEvent::instant(
+                Track::System,
+                TraceEventKind::DramQueueStall,
+                ready,
+                outstanding,
+                0,
+            )
+        });
         let (idx, earliest) = self
             .inflight
             .iter()
@@ -326,6 +355,7 @@ impl CycleAccurateDram {
             if let Some(prev_act) = b.act_at {
                 act = act.max(prev_act + self.cfg.t_rc());
             }
+            let unstalled_act = act;
             let mut faw_stalled = false;
             while let Some(bound) = self.faw.bound(act, self.cfg.t_faw) {
                 faw_stalled = true;
@@ -333,8 +363,38 @@ impl CycleAccurateDram {
             }
             if faw_stalled {
                 self.stats.tfaw_stalls += 1;
+                self.tracer.emit(|| {
+                    TraceEvent::instant(
+                        Track::DramBank(coord.bank as u32),
+                        TraceEventKind::TfawStall,
+                        act,
+                        coord.row,
+                        act.saturating_sub(unstalled_act).as_picos(),
+                    )
+                });
             }
             self.faw.push(act);
+            if had_open_row {
+                let old_row = b.open_row.expect("had_open_row");
+                self.tracer.emit(|| {
+                    TraceEvent::instant(
+                        Track::DramBank(coord.bank as u32),
+                        TraceEventKind::DramPrecharge,
+                        pre,
+                        old_row,
+                        0,
+                    )
+                });
+            }
+            self.tracer.emit(|| {
+                TraceEvent::instant(
+                    Track::DramBank(coord.bank as u32),
+                    TraceEventKind::DramActivate,
+                    act,
+                    coord.row,
+                    0,
+                )
+            });
             b.open_row = Some(coord.row);
             b.act_at = Some(act);
             b.act_ready = act + self.cfg.t_rc();
@@ -374,6 +434,20 @@ impl CycleAccurateDram {
         }
         self.stats.beats += beats;
         self.stats.bytes_transferred += beats * self.cfg.bus_bytes as u64;
+        self.tracer.emit(|| {
+            TraceEvent::span(
+                Track::DramBank(coord.bank as u32),
+                if read {
+                    TraceEventKind::DramRead
+                } else {
+                    TraceEventKind::DramWrite
+                },
+                first_cmd,
+                bus_end,
+                addr,
+                row_hit as u64,
+            )
+        });
         (first_cmd, bus_end, row_hit)
     }
 
@@ -386,6 +460,16 @@ impl CycleAccurateDram {
         // can never perturb the arrival-ordered paths.
         if req.kind == ReqKind::Read && !self.pending_writes.is_empty() {
             self.stats.fr_fcfs_reorders += 1;
+            let pending = self.pending_writes.len() as u64;
+            self.tracer.emit(|| {
+                TraceEvent::instant(
+                    Track::System,
+                    TraceEventKind::FrFcfsReorder,
+                    req.ready,
+                    pending,
+                    0,
+                )
+            });
         }
         let (admitted, outstanding) = self.admit(req.ready);
         // Front-end (queueing logic, PHY) latency, as in the occupancy
@@ -514,6 +598,16 @@ impl CycleAccurateDram {
         for (&(id, req), _) in due.iter().zip(&hits).filter(|&(_, &h)| h) {
             if oldest_miss.is_some_and(|m| id > m) {
                 self.stats.fr_fcfs_reorders += 1;
+                let pending = due.len() as u64;
+                self.tracer.emit(|| {
+                    TraceEvent::instant(
+                        Track::System,
+                        TraceEventKind::FrFcfsReorder,
+                        req.ready,
+                        pending,
+                        0,
+                    )
+                });
             }
             ordered.push((id, req));
         }
@@ -529,7 +623,19 @@ impl CycleAccurateDram {
     /// `(finish, id)`.
     pub fn drain_completions(&mut self, now: SimTime) -> &[(RequestId, Completion)] {
         self.flush_pending_writes(Some(now));
-        self.queue.drain_due(now)
+        let delivered = self.queue.drain_due(now).len() as u64;
+        if delivered > 0 {
+            self.tracer.emit(|| {
+                TraceEvent::instant(
+                    Track::System,
+                    TraceEventKind::CompletionDrain,
+                    now,
+                    delivered,
+                    0,
+                )
+            });
+        }
+        self.queue.drained()
     }
 
     /// Schedules every buffered write and drains every outstanding

@@ -11,7 +11,7 @@
 //! call, the dispatch is a predictable two-way branch, and both variants
 //! stay `Clone` for fixture snapshotting.
 
-use relmem_sim::{DramConfig, MemoryModel, SimTime};
+use relmem_sim::{DramConfig, MemoryModel, SimTime, Tracer};
 
 use crate::address::AddressMapping;
 use crate::controller::{DramController, DramStats};
@@ -153,6 +153,15 @@ impl DramModel {
         match self {
             DramModel::Occupancy(c) => c.set_event_driven(on),
             DramModel::CycleAccurate(c) => c.set_event_driven(on),
+        }
+    }
+
+    /// The active model's trace hook (recording is controlled by the
+    /// system; the hook is a no-op by default).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        match self {
+            DramModel::Occupancy(c) => c.tracer_mut(),
+            DramModel::CycleAccurate(c) => c.tracer_mut(),
         }
     }
 

@@ -18,7 +18,9 @@
 //! Size" / Figure 13).
 
 use relmem_dram::{DramModel, PhysicalMemory};
-use relmem_sim::{CdcConfig, ClockDomain, RmeHwConfig, SimTime};
+use relmem_sim::{
+    CdcConfig, ClockDomain, RmeHwConfig, SimTime, TraceEvent, TraceEventKind, Tracer, Track,
+};
 
 use crate::config_port::ConfigPort;
 use crate::fetch_unit::FetchUnit;
@@ -67,6 +69,9 @@ pub struct RmeEngine {
     /// waiting on the engine — including any frame turnovers its requests
     /// triggered.
     per_core_service: Vec<SimTime>,
+    /// Trace hook for frame activations and fetch windows. A no-op unless
+    /// the system enables recording; timing is never affected.
+    tracer: Tracer,
 }
 
 #[derive(Debug, Clone)]
@@ -98,6 +103,8 @@ struct FrameProgress {
     packed_row: usize,
     rows_in_frame: usize,
     tail_done: bool,
+    /// When the frame was activated (the fetch window's trace anchor).
+    activated: SimTime,
 }
 
 impl Programmed {
@@ -177,7 +184,14 @@ impl RmeEngine {
             stats: RmeStats::default(),
             per_core_requests: Vec::new(),
             per_core_service: Vec::new(),
+            tracer: Tracer::new(),
         }
+    }
+
+    /// The engine's trace hook (recording is controlled by the system;
+    /// the hook is a no-op by default).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// The hardware revision this engine models.
@@ -508,6 +522,13 @@ impl RmeEngine {
             latest = latest.max(self.book_descriptor(&d, mem, dram));
         }
         self.finish_partial_tail(rows.len(), packed_row, latest);
+        let lines = (rows.len() * packed_row).div_ceil(self.line_bytes) as u64;
+        self.tracer.emit(|| {
+            TraceEvent::instant(Track::Rme, TraceEventKind::FrameActivate, start_pl, frame, 0)
+        });
+        self.tracer.emit(|| {
+            TraceEvent::span(Track::Rme, TraceEventKind::FrameFetch, start_pl, latest, frame, lines)
+        });
     }
 
     /// MVCC visibility filtering must inspect the version header of every
@@ -593,6 +614,9 @@ impl RmeEngine {
         self.stats.frames_fetched += 1;
         self.charge_mvcc_headers(&geometry, &rows, start_pl, mem, dram);
         let descriptors = self.requestor.generate_frame(&geometry, &rows, start_pl);
+        self.tracer.emit(|| {
+            TraceEvent::instant(Track::Rme, TraceEventKind::FrameActivate, start_pl, frame, 0)
+        });
         self.progress = Some(FrameProgress {
             frame,
             descriptors,
@@ -601,6 +625,7 @@ impl RmeEngine {
             packed_row,
             rows_in_frame: rows.len(),
             tail_done: false,
+            activated: start_pl,
         });
     }
 
@@ -634,10 +659,18 @@ impl RmeEngine {
         }
         if progress.next < progress.descriptors.len() {
             self.progress = Some(progress);
-        } else if !progress.tail_done {
-            self.finish_partial_tail(progress.rows_in_frame, progress.packed_row, progress.latest);
+        } else {
+            if !progress.tail_done {
+                self.finish_partial_tail(
+                    progress.rows_in_frame,
+                    progress.packed_row,
+                    progress.latest,
+                );
+            }
+            // A fully booked frame needs no progress state: drop it,
+            // closing its fetch window in the trace.
+            self.emit_frame_fetch(&progress);
         }
-        // A fully booked frame needs no progress state: drop it.
     }
 
     /// Books every remaining descriptor of the activated frame at its
@@ -656,6 +689,18 @@ impl RmeEngine {
         if !progress.tail_done {
             self.finish_partial_tail(progress.rows_in_frame, progress.packed_row, progress.latest);
         }
+        self.emit_frame_fetch(&progress);
+    }
+
+    /// Emits the fetch window of a fully booked incremental frame:
+    /// activation → latest buffer-write completion, matching the span the
+    /// synchronous whole-frame fetch records.
+    fn emit_frame_fetch(&mut self, progress: &FrameProgress) {
+        let lines = (progress.rows_in_frame * progress.packed_row).div_ceil(self.line_bytes) as u64;
+        let (frame, activated, latest) = (progress.frame, progress.activated, progress.latest);
+        self.tracer.emit(|| {
+            TraceEvent::span(Track::Rme, TraceEventKind::FrameFetch, activated, latest, frame, lines)
+        });
     }
 
     /// Settles any incremental frame fetch still in flight by booking every

@@ -9,10 +9,13 @@
 //!   DRAM banks and fetch units,
 //! * a [`config::PlatformConfig`] describing a ZCU102-like PS–PL platform,
 //! * lightweight statistics helpers ([`stats`]),
-//! * plain-text / CSV rendering of experiment output ([`report`]).
+//! * plain-text / CSV rendering of experiment output ([`report`]),
+//! * simulated-time tracing with Perfetto/Chrome-trace export ([`trace`])
+//!   and trace-derived time-bucketed metrics ([`timeseries`]).
 //!
 //! Everything is deterministic: the simulator never consults wall-clock time
-//! or OS randomness, so identical inputs always produce identical results.
+//! or OS randomness, so identical inputs always produce identical results —
+//! including recorded traces.
 
 pub mod clock;
 pub mod config;
@@ -20,6 +23,8 @@ pub mod report;
 pub mod resource;
 pub mod stats;
 pub mod time;
+pub mod timeseries;
+pub mod trace;
 
 pub use clock::ClockDomain;
 pub use config::{
@@ -28,3 +33,8 @@ pub use config::{
 pub use resource::{MultiResource, PriorityResource, Resource};
 pub use stats::{Counter, DegradeTransition, LatencyProfile, MeanStd, OverloadStats, TxnStats};
 pub use time::SimTime;
+pub use timeseries::{default_bucket, series_from_trace, Metric, MetricsRegistry, MetricsSection};
+pub use trace::{
+    validate_chrome_trace, NoopSink, RecordingSink, Trace, TraceEvent, TraceEventKind, TraceSink,
+    TraceSummary, Tracer, Track,
+};

@@ -1,0 +1,328 @@
+//! Time-bucketed metrics derived from traces, plus the metrics registry
+//! shared with the benchmark reports.
+//!
+//! Two consumers share this module:
+//!
+//! * The figure harnesses turn a recorded [`Trace`] into per-bucket
+//!   time-series ([`series_from_trace`]) — queue depth, in-flight ops,
+//!   abort rate, DRAM bank occupancy — rendered through the existing
+//!   [`crate::report::Series`]/[`crate::report::Table`] machinery
+//!   (`--timeseries`).
+//! * The benchmark reports render named metric groups
+//!   ([`MetricsRegistry`]) as JSON — the `breakdown` section of
+//!   `BENCH_scan_throughput.json` goes through the same serializer, so the
+//!   bench JSON and the trace layer share one schema.
+
+use std::collections::BTreeSet;
+
+use crate::report::Series;
+use crate::time::SimTime;
+use crate::trace::{SpanStyle, Trace, TraceEventKind, Track};
+
+// ---------------------------------------------------------------------------
+// Metrics registry (shared bench/trace schema)
+// ---------------------------------------------------------------------------
+
+/// One named metric. `value` is preformatted by the producer (so the
+/// registry never re-rounds a number a report already committed to);
+/// `entries` distinguishes accumulated metrics (`{ "<unit>": v, "entries":
+/// n }`) from flat scalars (`"name": v`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metric {
+    /// JSON key.
+    pub name: String,
+    /// Unit label used as the value key of accumulated metrics.
+    pub unit: &'static str,
+    /// Preformatted numeric value.
+    pub value: String,
+    /// Number of accumulation events, if this metric is an accumulator.
+    pub entries: Option<u64>,
+}
+
+impl Metric {
+    /// A flat scalar metric (`"name": value`).
+    pub fn scalar(name: impl Into<String>, unit: &'static str, value: String) -> Self {
+        Metric {
+            name: name.into(),
+            unit,
+            value,
+            entries: None,
+        }
+    }
+
+    /// An accumulated metric (`"name": { "<unit>": value, "entries": n }`).
+    pub fn accumulated(
+        name: impl Into<String>,
+        unit: &'static str,
+        value: String,
+        entries: u64,
+    ) -> Self {
+        Metric {
+            name: name.into(),
+            unit,
+            value,
+            entries: Some(entries),
+        }
+    }
+}
+
+/// A named group of metrics, rendered as one JSON object.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSection {
+    /// Section name (the JSON key when nested in a registry).
+    pub name: String,
+    /// Metrics in declaration order.
+    pub metrics: Vec<Metric>,
+}
+
+impl MetricsSection {
+    /// Creates an empty section.
+    pub fn new(name: impl Into<String>) -> Self {
+        MetricsSection {
+            name: name.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a metric.
+    pub fn push(&mut self, metric: Metric) {
+        self.metrics.push(metric);
+    }
+
+    /// Renders the section as a JSON object. `item_indent` spaces prefix
+    /// each member line; `close_indent` spaces prefix the closing brace —
+    /// matching however deep the object sits in the surrounding report.
+    pub fn to_json_object(&self, item_indent: usize, close_indent: usize) -> String {
+        let pad = " ".repeat(item_indent);
+        let members: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|m| match m.entries {
+                Some(n) => format!(
+                    "{pad}\"{}\": {{ \"{}\": {}, \"entries\": {} }}",
+                    m.name, m.unit, m.value, n
+                ),
+                None => format!("{pad}\"{}\": {}", m.name, m.value),
+            })
+            .collect();
+        format!("{{\n{}\n{}}}", members.join(",\n"), " ".repeat(close_indent))
+    }
+}
+
+/// An ordered collection of [`MetricsSection`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    /// Sections in declaration order.
+    pub sections: Vec<MetricsSection>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Appends a section and returns a handle to it.
+    pub fn section(&mut self, name: impl Into<String>) -> &mut MetricsSection {
+        self.sections.push(MetricsSection::new(name));
+        self.sections.last_mut().expect("just pushed")
+    }
+
+    /// Renders the whole registry as one JSON object of sections.
+    pub fn to_json(&self) -> String {
+        let members: Vec<String> = self
+            .sections
+            .iter()
+            .map(|s| format!("  \"{}\": {}", s.name, s.to_json_object(4, 2)))
+            .collect();
+        format!("{{\n{}\n}}\n", members.join(",\n"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Time-bucketed series from a trace
+// ---------------------------------------------------------------------------
+
+/// Picks a bucket width giving roughly `target_buckets` buckets over the
+/// trace, at least 1 ns.
+pub fn default_bucket(trace: &Trace, target_buckets: u64) -> SimTime {
+    let end = trace.end().as_picos().max(1);
+    SimTime::from_picos((end / target_buckets.max(1)).max(1_000))
+}
+
+/// Derives per-bucket time-series from a recorded trace:
+///
+/// * `queue_depth_max` — deepest admission queue observed in the bucket
+///   (from `OpAdmitted` payloads),
+/// * `inflight_ops` — ops whose service span overlaps the bucket,
+/// * `completed_ops` — op spans ending in the bucket,
+/// * `shed_ops` — queue-full plus deadline sheds in the bucket,
+/// * `abort_rate` — txn aborts over txn outcomes in the bucket (0 when no
+///   txn finished),
+/// * `bank_occupancy` — fraction of bucket × active-DRAM-banks covered by
+///   read/write bursts.
+///
+/// X labels are the bucket start times in microseconds. Series whose
+/// source events never occur are omitted, so figure tables stay compact.
+pub fn series_from_trace(trace: &Trace, bucket: SimTime) -> Vec<Series> {
+    let bucket_ps = bucket.as_picos().max(1);
+    let end_ps = trace.end().as_picos();
+    let n = (end_ps / bucket_ps + 1) as usize;
+    let mut queue_depth = vec![0u64; n];
+    let mut inflight = vec![0u64; n];
+    let mut completed = vec![0u64; n];
+    let mut shed = vec![0u64; n];
+    let mut aborts = vec![0u64; n];
+    let mut txn_outcomes = vec![0u64; n];
+    let mut busy_ps = vec![0u64; n];
+    let mut saw_admit = false;
+    let mut saw_span = false;
+    let mut saw_shed = false;
+    let mut saw_txn = false;
+    let mut dram_banks: BTreeSet<u32> = BTreeSet::new();
+
+    for e in &trace.events {
+        let b = (e.at.as_picos() / bucket_ps) as usize;
+        match e.kind {
+            TraceEventKind::OpAdmitted => {
+                saw_admit = true;
+                queue_depth[b] = queue_depth[b].max(e.arg1);
+            }
+            TraceEventKind::OpSpan => {
+                saw_span = true;
+                let last = (e.end().as_picos() / bucket_ps) as usize;
+                for slot in &mut inflight[b..=last.min(n - 1)] {
+                    *slot += 1;
+                }
+                completed[last.min(n - 1)] += 1;
+            }
+            TraceEventKind::OpShedQueueFull | TraceEventKind::OpShedDeadline => {
+                saw_shed = true;
+                shed[b] += 1;
+            }
+            TraceEventKind::TxnCommit => {
+                saw_txn = true;
+                txn_outcomes[b] += 1;
+            }
+            TraceEventKind::TxnAbort => {
+                saw_txn = true;
+                txn_outcomes[b] += 1;
+                aborts[b] += 1;
+            }
+            TraceEventKind::DramRead | TraceEventKind::DramWrite => {
+                debug_assert_eq!(e.kind.style(), SpanStyle::Async);
+                if let Track::DramBank(bank) = e.track {
+                    dram_banks.insert(bank);
+                }
+                // Spread the burst's busy time across the buckets it covers.
+                let (start, end) = (e.at.as_picos(), e.end().as_picos());
+                let last = (end / bucket_ps) as usize;
+                for (i, slot) in busy_ps
+                    .iter_mut()
+                    .enumerate()
+                    .take(last.min(n - 1) + 1)
+                    .skip(b)
+                {
+                    let lo = (i as u64) * bucket_ps;
+                    let hi = lo + bucket_ps;
+                    *slot += end.min(hi).saturating_sub(start.max(lo));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let label = |i: usize| {
+        let ps = (i as u64) * bucket_ps;
+        format!("{}.{:03}", ps / 1_000_000, ps % 1_000_000 / 1_000)
+    };
+    let make = |name: &str, ys: &dyn Fn(usize) -> f64| {
+        let mut s = Series::new(name);
+        for i in 0..n {
+            s.push(label(i), ys(i));
+        }
+        s
+    };
+
+    let mut out = Vec::new();
+    if saw_admit {
+        out.push(make("queue_depth_max", &|i| queue_depth[i] as f64));
+    }
+    if saw_span {
+        out.push(make("inflight_ops", &|i| inflight[i] as f64));
+        out.push(make("completed_ops", &|i| completed[i] as f64));
+    }
+    if saw_shed {
+        out.push(make("shed_ops", &|i| shed[i] as f64));
+    }
+    if saw_txn {
+        out.push(make("abort_rate", &|i| {
+            if txn_outcomes[i] == 0 {
+                0.0
+            } else {
+                aborts[i] as f64 / txn_outcomes[i] as f64
+            }
+        }));
+    }
+    if !dram_banks.is_empty() {
+        let denom = (bucket_ps * dram_banks.len() as u64) as f64;
+        out.push(make("bank_occupancy", &|i| {
+            (busy_ps[i] as f64 / denom).min(1.0)
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    #[test]
+    fn registry_renders_accumulated_and_flat_metrics() {
+        let mut section = MetricsSection::new("breakdown");
+        section.push(Metric::accumulated("l2_walk", "seconds", "0.123456".into(), 7));
+        section.push(Metric::scalar("other_seconds", "seconds", "0.000001".into()));
+        let json = section.to_json_object(4, 2);
+        assert_eq!(
+            json,
+            "{\n    \"l2_walk\": { \"seconds\": 0.123456, \"entries\": 7 },\n    \
+             \"other_seconds\": 0.000001\n  }"
+        );
+        let mut reg = MetricsRegistry::new();
+        reg.section("breakdown").push(Metric::scalar("x", "", "1".into()));
+        let doc = crate::trace::Json::parse(&reg.to_json()).expect("registry JSON parses");
+        assert!(doc.get("breakdown").is_some());
+    }
+
+    #[test]
+    fn series_bucket_queue_depth_and_occupancy() {
+        let us = SimTime::from_micros;
+        let trace = Trace::merge(vec![vec![
+            TraceEvent::instant(Track::Core(0), TraceEventKind::OpAdmitted, us(1), 0, 3),
+            TraceEvent::instant(Track::Core(0), TraceEventKind::OpAdmitted, us(12), 0, 5),
+            TraceEvent::span(Track::Core(0), TraceEventKind::OpSpan, us(1), us(15), 0, 8),
+            TraceEvent::span(Track::DramBank(0), TraceEventKind::DramRead, us(0), us(5), 0, 1),
+            TraceEvent::instant(Track::Core(0), TraceEventKind::TxnAbort, us(2), 1, 0),
+            TraceEvent::instant(Track::Core(0), TraceEventKind::TxnCommit, us(3), 2, 1),
+        ]]);
+        let series = series_from_trace(&trace, us(10));
+        let by_name = |n: &str| series.iter().find(|s| s.name == n).expect(n);
+        assert_eq!(by_name("queue_depth_max").ys(), vec![3.0, 5.0]);
+        assert_eq!(by_name("inflight_ops").ys(), vec![1.0, 1.0]);
+        assert_eq!(by_name("completed_ops").ys(), vec![0.0, 1.0]);
+        // 5 µs of burst in a 10 µs bucket on one bank → 0.5 occupancy.
+        assert_eq!(by_name("bank_occupancy").ys(), vec![0.5, 0.0]);
+        // One abort + one commit in bucket 0.
+        assert_eq!(by_name("abort_rate").ys(), vec![0.5, 0.0]);
+        // No sheds → no series.
+        assert!(series.iter().all(|s| s.name != "shed_ops"));
+        // X labels are µs with ms precision.
+        assert_eq!(by_name("queue_depth_max").points[1].0, "10.000");
+    }
+
+    #[test]
+    fn default_bucket_is_positive() {
+        assert!(default_bucket(&Trace::default(), 40).as_picos() >= 1_000);
+    }
+}
